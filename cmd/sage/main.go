@@ -1,0 +1,280 @@
+// Command sage is the command-line front end of the SAGe codec:
+//
+//	sage simulate   generate a synthetic read set (+ reference)
+//	sage compress   FASTQ -> .sage container
+//	sage decompress .sage container -> FASTQ
+//	sage inspect    show a container's streams, tables and statistics
+//	sage verify     check two FASTQ files describe the same read multiset
+//
+// Compression needs a consensus: pass -ref, or use -denovo to assemble
+// one from the reads (§2.2: "a user-provided reference, or a de-duplicated
+// string derived from the reads").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"math/rand"
+
+	"sage/internal/consensus"
+	"sage/internal/core"
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/simulate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sage: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sage: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sage <command> [flags]
+
+commands:
+  simulate    -out reads.fastq -ref ref.txt [-long] [-genome 200000] [-reads 2000] [-seed 1]
+  compress    -in reads.fastq -out reads.sage (-ref ref.txt | -denovo) [-no-quality] [-no-headers]
+  decompress  -in reads.sage -out reads.fastq [-ref ref.txt]
+  inspect     -in reads.sage
+  verify      -a a.fastq -b b.fastq`)
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	out := fs.String("out", "reads.fastq", "output FASTQ path")
+	refOut := fs.String("ref", "ref.txt", "output reference path")
+	long := fs.Bool("long", false, "simulate nanopore-like long reads instead of short reads")
+	genomeLen := fs.Int("genome", 200000, "reference genome length")
+	nReads := fs.Int("reads", 2000, "number of reads")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, ref, err := simulateSet(*long, *genomeLen, *nReads, *seed)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*refOut, []byte(ref.String()+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rs.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d reads (%d bases) to %s; reference (%d bases) to %s\n",
+		len(rs.Records), rs.TotalBases(), *out, len(ref), *refOut)
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input FASTQ")
+	out := fs.String("out", "", "output container (default: <in>.sage)")
+	refPath := fs.String("ref", "", "consensus/reference sequence file")
+	denovo := fs.Bool("denovo", false, "derive the consensus from the reads (de Bruijn assembly)")
+	noQual := fs.Bool("no-quality", false, "discard quality scores")
+	noHdr := fs.Bool("no-headers", false, "discard read names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("compress: -in is required")
+	}
+	if *out == "" {
+		*out = *in + ".sage"
+	}
+	rs, err := readFASTQ(*in)
+	if err != nil {
+		return err
+	}
+	var cons genome.Seq
+	switch {
+	case *denovo:
+		c, err := consensus.FromReads(rs, consensus.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("compress: de-novo consensus: %w", err)
+		}
+		cons = c.Seq
+		fmt.Printf("assembled consensus: %d bases in %d unitigs\n", len(cons), c.NumUnitigs)
+	case *refPath != "":
+		cons, err = readRef(*refPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("compress: pass -ref or -denovo")
+	}
+	opt := core.DefaultOptions(cons)
+	opt.IncludeQuality = !*noQual
+	opt.IncludeHeaders = !*noHdr
+	enc, err := core.Compress(rs, opt)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc.Data, 0o644); err != nil {
+		return err
+	}
+	raw := len(rs.Bytes())
+	fmt.Printf("%s: %d -> %d bytes (%.2fx); %d/%d reads mapped, %d chimeric, %d corner\n",
+		*out, raw, len(enc.Data), float64(raw)/float64(len(enc.Data)),
+		enc.Stats.NumMapped, enc.Stats.NumReads, enc.Stats.NumChimeric, enc.Stats.NumCorner)
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input container")
+	out := fs.String("out", "", "output FASTQ (default: stdout)")
+	refPath := fs.String("ref", "", "consensus file (only if not embedded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("decompress: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var cons genome.Seq
+	if *refPath != "" {
+		if cons, err = readRef(*refPath); err != nil {
+			return err
+		}
+	}
+	rs, err := core.Decompress(data, cons)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rs.Write(w)
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input container")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	info, err := core.Inspect(data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(info)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	a := fs.String("a", "", "first FASTQ")
+	b := fs.String("b", "", "second FASTQ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ra, err := readFASTQ(*a)
+	if err != nil {
+		return err
+	}
+	rb, err := readFASTQ(*b)
+	if err != nil {
+		return err
+	}
+	if !fastq.Equivalent(ra, rb) {
+		return fmt.Errorf("read sets differ")
+	}
+	fmt.Printf("equivalent: %d reads, %d bases\n", len(ra.Records), ra.TotalBases())
+	return nil
+}
+
+func readFASTQ(path string) (*fastq.ReadSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fastq.Parse(f)
+}
+
+// readRef loads a reference: plain base text or single-record FASTA.
+func readRef(path string) (genome.Seq, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ">") {
+			continue
+		}
+		b.WriteString(line)
+	}
+	return genome.FromString(b.String())
+}
+
+// simulateSet generates a donor genome from a fresh reference and samples
+// reads from it.
+func simulateSet(long bool, genomeLen, nReads int, seed int64) (*fastq.ReadSet, genome.Seq, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ref := genome.Random(rng, genomeLen)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	sim := simulate.New(rng, donor)
+	if long {
+		p := simulate.DefaultLongProfile()
+		if p.MaxLen > genomeLen {
+			p.MaxLen = genomeLen / 2
+			p.MeanLen = genomeLen / 8
+		}
+		rs, err := sim.LongReads(nReads, p)
+		return rs, ref, err
+	}
+	rs, err := sim.ShortReads(nReads, simulate.DefaultShortProfile())
+	return rs, ref, err
+}

@@ -1,0 +1,67 @@
+// Command sagebench regenerates every table and figure of the SAGe
+// paper's evaluation (§8) on the synthetic RS1–RS5 read sets.
+//
+// Usage:
+//
+//	sagebench [-scale 0.35] [-cal paper|measured] [-experiment fig13] [-list]
+//
+// With no -experiment it runs the full suite in order. The -cal flag
+// selects whether software preparation throughputs come from timing this
+// repository's Go decompressors on this machine (measured) or from the
+// paper's published component ratios (paper); see DESIGN.md's
+// hybrid-calibration note.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sage/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.35, "dataset scale (1.0 ≈ a few MB of FASTQ per read set)")
+	cal := flag.String("cal", "paper", "calibration for software prep rates: paper | measured")
+	experiment := flag.String("experiment", "", "run a single experiment (e.g. fig13, tab2); empty = all")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	s := bench.NewSuite(*scale)
+	switch *cal {
+	case "paper":
+		s.Cal = bench.CalPaper
+	case "measured":
+		s.Cal = bench.CalMeasured
+	default:
+		fmt.Fprintf(os.Stderr, "sagebench: unknown calibration %q\n", *cal)
+		os.Exit(2)
+	}
+	if *list {
+		for _, id := range s.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	fmt.Printf("SAGe evaluation suite (scale=%.2f, calibration=%s)\n", *scale, *cal)
+	start := time.Now()
+	if *experiment != "" {
+		tb, err := s.Run(*experiment)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tb.Render())
+		return
+	}
+	tables, err := s.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tb := range tables {
+		fmt.Println(tb.Render())
+	}
+	fmt.Printf("completed %d experiments in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

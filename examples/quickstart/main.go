@@ -1,0 +1,71 @@
+// Quickstart: simulate a read set, compress it with SAGe, decompress it,
+// and verify losslessness — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sage/internal/core"
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/simulate"
+)
+
+func main() {
+	// 1. A reference genome and a donor individual derived from it
+	// through clustered genetic variation.
+	rng := rand.New(rand.NewSource(42))
+	ref := genome.Random(rng, 150_000)
+	donor, variants := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	fmt.Printf("reference: %d bases; donor carries %d variants\n", len(ref), len(variants))
+
+	// 2. Sequence the donor: 3000 Illumina-like short reads.
+	sim := simulate.New(rng, donor)
+	reads, err := sim.ShortReads(3000, simulate.DefaultShortProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := reads.Bytes()
+	fmt.Printf("read set: %d reads, %d bases, %d bytes of FASTQ\n",
+		len(reads.Records), reads.TotalBases(), len(raw))
+
+	// 3. Compress against the reference (the consensus sequence).
+	enc, err := core.Compress(reads, core.DefaultOptions(ref))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := enc.Stats
+	fmt.Printf("compressed: %d bytes (%.2fx overall)\n", len(enc.Data),
+		float64(len(raw))/float64(len(enc.Data)))
+	fmt.Printf("  DNA section %d B, quality %d B, headers %d B, consensus %d B\n",
+		st.DNABytes-st.ConsensusBytes, st.QualityBytes, st.HeaderBytes, st.ConsensusBytes)
+	fmt.Printf("  %d/%d reads mapped (%d corner cases)\n", st.NumMapped, st.NumReads, st.NumCorner)
+	fmt.Printf("  tuned widths: matchDelta=%v mismatchDelta=%v counts=%v\n",
+		st.Tables["matchDelta"], st.Tables["mismatchDelta"], st.Tables["mismatchCount"])
+
+	// 4. Decompress (streaming Scan Unit + Read Construction Unit) and
+	// verify the round trip at the read-set level.
+	got, err := core.Decompress(enc.Data, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !fastq.Equivalent(reads, got) {
+		log.Fatal("round trip failed: decompressed set differs")
+	}
+	fmt.Println("round trip verified: decompressed read set is equivalent to the input")
+
+	// 5. Reads can also be emitted in accelerator formats (§5.4).
+	packed, err := core.FormatReads(got, genome.Format2Bit)
+	if err != nil {
+		// Reads containing N need the 3-bit format.
+		packed, err = core.FormatReads(got, genome.Format3Bit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("formatted %d reads as 3-bit (N bases present)\n", len(packed))
+		return
+	}
+	fmt.Printf("formatted %d reads as 2-bit for accelerator consumption\n", len(packed))
+}

@@ -1,0 +1,65 @@
+package accel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGEMThroughput(t *testing.T) {
+	g := GEM()
+	// 69.2M reads/s → 1M short reads in ~14.5ms.
+	d := g.MapTime(1_000_000, 150_000_000)
+	if d < 14*time.Millisecond || d > 15*time.Millisecond {
+		t.Fatalf("GEM map time %v", d)
+	}
+}
+
+func TestMapTimeScalesWithBases(t *testing.T) {
+	g := GEM()
+	// Long reads: few reads but many bases must be base-bound.
+	short := g.MapTime(1000, 1000*150)
+	long := g.MapTime(1000, 1000*10000)
+	if long <= short {
+		t.Fatal("long reads must take longer per read")
+	}
+}
+
+func TestMapTimeZero(t *testing.T) {
+	if GEM().MapTime(0, 0) != 0 {
+		t.Fatal("empty batch must take no time")
+	}
+}
+
+func TestSoftwareMapperSlower(t *testing.T) {
+	if SoftwareMapper().ReadsPerSec >= GEM().ReadsPerSec {
+		t.Fatal("the software baseline must be slower than GEM")
+	}
+}
+
+func TestGenStoreClamp(t *testing.T) {
+	if GenStore(-1).FilterFraction != 0 {
+		t.Fatal("negative fraction must clamp to 0")
+	}
+	if GenStore(2).FilterFraction != 1 {
+		t.Fatal("fraction >1 must clamp to 1")
+	}
+}
+
+func TestGenStoreRemaining(t *testing.T) {
+	f := GenStore(0.8)
+	reads, bases := f.Remaining(1000, 150000)
+	if reads != 200 || bases != 30000 {
+		t.Fatalf("remaining %d reads %d bases", reads, bases)
+	}
+}
+
+func TestFilterTime(t *testing.T) {
+	f := GenStore(0.5)
+	if f.FilterTime(0) != 0 {
+		t.Fatal("zero bases → zero time")
+	}
+	d := f.FilterTime(int64(f.ThroughputMBps * 1e6))
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Fatalf("filter time %v want ~1s", d)
+	}
+}

@@ -1,0 +1,246 @@
+// Package bitio provides bit-granular writers and readers used by SAGe's
+// array and guide-array encodings.
+//
+// SAGe's on-storage format (§5.1 of the paper) packs fields of 1–32 bits
+// back to back with no byte alignment. Decompression hardware consumes the
+// streams strictly sequentially, so the reader exposes only forward,
+// streaming operations: ReadBits, ReadBit, and ReadUnary. Bits are packed
+// MSB-first within each byte, which keeps the software decoder's shift
+// logic identical to the hardware Scan Unit's shift registers.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned when a read would pass the end of the stream.
+var ErrOverflow = errors.New("bitio: read past end of stream")
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte // partially filled byte
+	nCur uint // number of bits used in cur (0..7)
+	bits uint64
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (b must be 0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	w.bits++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 64", n))
+	}
+	w.bits += uint64(n)
+	for n > 0 {
+		space := 8 - w.nCur
+		take := space
+		if take > n {
+			take = n
+		}
+		chunk := byte(v>>(n-take)) & (1<<take - 1)
+		w.cur = w.cur<<take | chunk
+		w.nCur += take
+		n -= take
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// WriteUnary appends v as a unary prefix code: v ones followed by a zero.
+// This is the variable-length guide-array representation of §5.1.1
+// ("0, 10, 110, 1110" for class indices 0..3).
+func (w *Writer) WriteUnary(v uint) {
+	for i := uint(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// WriteBool appends b as one bit.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// Len reports the number of bits written so far.
+func (w *Writer) Len() uint64 { return w.bits }
+
+// Bytes flushes the partial byte (padding with zeros) and returns the
+// packed stream. The writer remains usable; subsequent writes continue
+// after the already-flushed content only if no partial byte was pending,
+// so callers should treat Bytes as a finalization step.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// Reset discards all written bits.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur, w.bits = 0, 0, 0
+}
+
+// Reader consumes a bit stream produced by Writer, strictly forward.
+type Reader struct {
+	buf []byte
+	pos uint64 // bit cursor
+	n   uint64 // total bits available
+}
+
+// NewReader returns a Reader over buf. nbits bounds the number of valid
+// bits; pass 8*len(buf) if the stream is exactly byte-aligned.
+func NewReader(buf []byte, nbits uint64) *Reader {
+	if max := uint64(len(buf)) * 8; nbits > max {
+		nbits = max
+	}
+	return &Reader{buf: buf, n: nbits}
+}
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.n {
+		return 0, ErrOverflow
+	}
+	b := r.buf[r.pos>>3]
+	bit := uint(b>>(7-r.pos&7)) & 1
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits width %d > 64", n)
+	}
+	if r.pos+uint64(n) > r.n {
+		return 0, ErrOverflow
+	}
+	var v uint64
+	pos := r.pos
+	for n > 0 {
+		b := r.buf[pos>>3]
+		off := uint(pos & 7)
+		avail := 8 - off
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := (b >> (avail - take)) & (1<<take - 1)
+		v = v<<take | uint64(chunk)
+		pos += uint64(take)
+		n -= take
+	}
+	r.pos = pos
+	return v, nil
+}
+
+// ReadUnary reads a unary prefix code (count of ones before the first
+// zero). maxOnes bounds the count to defend against corrupt streams.
+func (r *Reader) ReadUnary(maxOnes uint) (uint, error) {
+	var v uint
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return v, nil
+		}
+		v++
+		if v > maxOnes {
+			return 0, fmt.Errorf("bitio: unary code exceeds %d ones", maxOnes)
+		}
+	}
+}
+
+// ReadBool reads one bit as a bool.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadBit()
+	return b == 1, err
+}
+
+// Pos reports the bit cursor position.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() uint64 { return r.n - r.pos }
+
+// BitsFor returns the minimum number of bits needed to represent v
+// (at least 1; BitsFor(0) == 1, matching SAGe's width classes, which
+// always spend at least one bit per stored value).
+func BitsFor(v uint64) uint {
+	n := uint(1)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// PutUvarint64 appends v to w using a 7-bits-per-group variable-length
+// encoding (1 continuation bit + 7 payload bits per group, MSB group
+// first). Used for header metadata where widths are unknown a priori.
+func PutUvarint64(w *Writer, v uint64) {
+	// Count groups.
+	groups := uint(1)
+	for x := v >> 7; x > 0; x >>= 7 {
+		groups++
+	}
+	for i := groups; i > 0; i-- {
+		payload := (v >> ((i - 1) * 7)) & 0x7f
+		if i > 1 {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+		w.WriteBits(payload, 7)
+	}
+}
+
+// ReadUvarint64 reads a value written by PutUvarint64.
+func ReadUvarint64(r *Reader) (uint64, error) {
+	var v uint64
+	for i := 0; ; i++ {
+		if i >= 10 {
+			return 0, errors.New("bitio: uvarint too long")
+		}
+		cont, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		payload, err := r.ReadBits(7)
+		if err != nil {
+			return 0, err
+		}
+		v = v<<7 | payload
+		if cont == 0 {
+			return v, nil
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sage/internal/genome"
+	"sage/internal/simulate"
+)
+
+func TestBreakdownLevelsShortReads(t *testing.T) {
+	ref, rs := makeShortSet(t, 21, 60000, 1500)
+	bds, err := ComputeBreakdowns(rs, ref, DefaultOptions(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bds) != 5 {
+		t.Fatalf("got %d levels", len(bds))
+	}
+	for i, bd := range bds {
+		if bd.Level != OptLevel(i) {
+			t.Fatalf("level %d mislabeled as %v", i, bd.Level)
+		}
+		if bd.TotalBits() == 0 {
+			t.Fatalf("level %v has zero bits", bd.Level)
+		}
+	}
+	no, o1, o4 := bds[0], bds[1], bds[4]
+	// Paper observation 1: O1 significantly reduces matching-position
+	// data in short reads.
+	if o1.Components.MatchingPos >= no.Components.MatchingPos {
+		t.Fatalf("O1 matching positions %d should shrink vs NO %d",
+			o1.Components.MatchingPos, no.Components.MatchingPos)
+	}
+	// Each level must not increase the total.
+	for i := 1; i < len(bds); i++ {
+		if bds[i].TotalBits() > bds[i-1].TotalBits()*11/10 {
+			t.Fatalf("level %v total %d much larger than previous %d",
+				bds[i].Level, bds[i].TotalBits(), bds[i-1].TotalBits())
+		}
+	}
+	// End-to-end: O4 must be far below NO.
+	if o4.TotalBits()*2 > no.TotalBits() {
+		t.Fatalf("O4 %d bits is not a big enough win over NO %d", o4.TotalBits(), no.TotalBits())
+	}
+	// Paper observation 2: O2 shrinks mismatch counts for short reads
+	// (most reads have 0 mismatches).
+	if bds[2].Components.MismatchCount >= bds[1].Components.MismatchCount {
+		t.Fatalf("O2 counts %d should shrink vs O1 %d",
+			bds[2].Components.MismatchCount, bds[1].Components.MismatchCount)
+	}
+}
+
+func TestBreakdownLevelsLongReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ref := genome.Random(rng, 150000)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	sim := simulate.New(rng, donor)
+	p := simulate.DefaultLongProfile()
+	p.MeanLen, p.MaxLen = 3000, 8000
+	p.ChimeraRate = 0.25
+	rs, err := sim.LongReads(80, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bds, err := ComputeBreakdowns(rs, ref, DefaultOptions(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	no, o1, o2, o3 := bds[0], bds[1], bds[2], bds[3]
+	// Paper observation 3: O2 gives a large mismatch-position reduction
+	// in long reads (delta + tuned widths + indel blocks).
+	if o2.Components.MismatchPos*2 > o1.Components.MismatchPos {
+		t.Fatalf("O2 positions %d not a big enough win vs O1 %d",
+			o2.Components.MismatchPos, o1.Components.MismatchPos)
+	}
+	// Paper observation 4: O3 reduces bases for long reads (chimeras).
+	basesBefore := o2.Components.MismatchBases + o2.Components.MismatchTypes
+	basesAfter := o3.Components.MismatchBases + o3.Components.MismatchTypes
+	if basesAfter >= basesBefore {
+		t.Fatalf("O3 bases+types %d should shrink vs O2 %d", basesAfter, basesBefore)
+	}
+	// O1 matters little for long reads (matching positions are a small
+	// fraction): total NO vs O1 should be within 25%.
+	if no.TotalBits() > o1.TotalBits()*5/4 {
+		t.Fatalf("O1 total %d vs NO %d: matching positions should be minor for long reads",
+			o1.TotalBits(), no.TotalBits())
+	}
+}
+
+func TestBreakdownO4DropsCornerFlags(t *testing.T) {
+	// With zero N rate and full mapping, O4's corner bits must be far
+	// below the 2-bits-per-read flags of earlier levels.
+	rng := rand.New(rand.NewSource(23))
+	ref := genome.Random(rng, 40000)
+	sim := simulate.New(rng, ref)
+	p := simulate.DefaultShortProfile()
+	p.NRate = 0
+	rs, err := sim.ShortReads(1000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bds, err := ComputeBreakdowns(rs, ref, DefaultOptions(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, o4 := bds[3], bds[4]
+	if o3.Components.Corner != 2*uint64(len(rs.Records)) {
+		t.Fatalf("O3 corner bits %d want %d", o3.Components.Corner, 2*len(rs.Records))
+	}
+	if o4.Components.Corner >= o3.Components.Corner {
+		t.Fatalf("O4 corner bits %d should shrink vs O3 %d",
+			o4.Components.Corner, o3.Components.Corner)
+	}
+}
+
+func TestOptLevelString(t *testing.T) {
+	want := []string{"NO", "O1", "O2", "O3", "O4"}
+	for i, w := range want {
+		if OptLevel(i).String() != w {
+			t.Fatalf("level %d prints %q", i, OptLevel(i).String())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package dram models the memory components the experiments need: the
+// host's multi-channel DDR4 and the SSD's single-channel internal DRAM.
+// It plays the role Ramulator plays in the paper's methodology (§7): a
+// bandwidth and energy model. SAGe's own datapath deliberately avoids
+// DRAM (§6: operates "without needing to buffer them in the SSD's
+// low-bandwidth, single-channel, internal DRAM"), so the model's job in
+// the experiments is bounding the *baselines*, whose decompression is
+// memory-intensive (§3.2).
+package dram
+
+import "time"
+
+// Spec describes one memory system.
+type Spec struct {
+	Name string
+	// Channels and per-channel bandwidth.
+	Channels      int
+	ChannelGBps   float64
+	IdleW         float64
+	ActivePerChW  float64
+	EnergyPerByte float64 // Joules per byte moved (pJ scale)
+}
+
+// HostDDR4 models the evaluation host's eight DDR4-3200 channels (§3.2:
+// "eight DRAM channels ... the performance of these genomic decompressors
+// saturates after 32 threads due to insufficient main memory bandwidth").
+func HostDDR4() Spec {
+	return Spec{
+		Name:          "host-ddr4",
+		Channels:      8,
+		ChannelGBps:   25.6,
+		IdleW:         4.0,
+		ActivePerChW:  2.5,
+		EnergyPerByte: 40e-12, // ~40 pJ/B end-to-end DDR4 access energy
+	}
+}
+
+// SSDInternal models the drive's single-channel LPDDR4 (§3.2: 4 GB for a
+// 4-TB SSD, >95% filled with mapping metadata).
+func SSDInternal() Spec {
+	return Spec{
+		Name:          "ssd-lpddr4",
+		Channels:      1,
+		ChannelGBps:   4.3,
+		IdleW:         0.15,
+		ActivePerChW:  0.4,
+		EnergyPerByte: 20e-12,
+	}
+}
+
+// BandwidthGBps is the aggregate peak bandwidth.
+func (s Spec) BandwidthGBps() float64 {
+	return float64(s.Channels) * s.ChannelGBps
+}
+
+// TransferTime models moving nBytes at a utilization fraction of peak
+// (random-access-heavy workloads achieve far less than streaming peak).
+func (s Spec) TransferTime(nBytes int64, utilization float64) time.Duration {
+	if nBytes <= 0 {
+		return 0
+	}
+	if utilization <= 0 || utilization > 1 {
+		utilization = 1
+	}
+	bps := s.BandwidthGBps() * 1e9 * utilization
+	return time.Duration(float64(nBytes) / bps * float64(time.Second))
+}
+
+// AccessEnergy returns the energy to move nBytes.
+func (s Spec) AccessEnergy(nBytes int64) float64 {
+	return float64(nBytes) * s.EnergyPerByte
+}
+
+// IdleEnergy returns idle energy over an interval.
+func (s Spec) IdleEnergy(total time.Duration) float64 {
+	return s.IdleW * total.Seconds()
+}

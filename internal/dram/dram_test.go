@@ -1,0 +1,53 @@
+package dram
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHostBandwidth(t *testing.T) {
+	h := HostDDR4()
+	if bw := h.BandwidthGBps(); bw < 200 || bw > 210 {
+		t.Fatalf("host bandwidth %.1f GB/s; expected ~204.8", bw)
+	}
+}
+
+func TestSSDInternalSingleChannel(t *testing.T) {
+	s := SSDInternal()
+	if s.Channels != 1 {
+		t.Fatal("the SSD's internal DRAM must be single-channel (§3.2)")
+	}
+	if s.BandwidthGBps() >= HostDDR4().BandwidthGBps() {
+		t.Fatal("internal DRAM must be far slower than the host's")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	h := HostDDR4()
+	d := h.TransferTime(int64(h.BandwidthGBps()*1e9), 1.0)
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Fatalf("full-bandwidth transfer %v want ~1s", d)
+	}
+	// Random access at 25% utilization takes 4x longer.
+	dr := h.TransferTime(int64(h.BandwidthGBps()*1e9), 0.25)
+	if dr < 3900*time.Millisecond || dr > 4100*time.Millisecond {
+		t.Fatalf("random-access transfer %v want ~4s", dr)
+	}
+	if h.TransferTime(0, 1) != 0 {
+		t.Fatal("zero bytes → zero time")
+	}
+	// Invalid utilization falls back to peak.
+	if h.TransferTime(1000, 0) != h.TransferTime(1000, 1) {
+		t.Fatal("utilization 0 must clamp to 1")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	h := HostDDR4()
+	if e := h.AccessEnergy(1e9); e < 0.01 || e > 1 {
+		t.Fatalf("access energy %.3f J for 1GB out of range", e)
+	}
+	if e := h.IdleEnergy(10 * time.Second); e != 40 {
+		t.Fatalf("idle energy %.1f J want 40", e)
+	}
+}

@@ -1,0 +1,269 @@
+// Package fastq implements the FASTQ read-set substrate: the most common
+// format for unmapped sequencing reads (§2.1 of the SAGe paper; as of 2025,
+// 75.9% of publicly deposited whole-genome read sets are FASTQ).
+//
+// A FASTQ record is four lines: a header ('@'-prefixed), the DNA bases,
+// a '+' separator, and one quality-score character per base (Phred+33).
+// SAGe treats a file of records as a read set: an unordered multiset whose
+// reads may be reordered during compression as long as bases, qualities,
+// and headers stay associated (§5.1.3, §5.1.5).
+package fastq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"sage/internal/genome"
+)
+
+// QualityOffset is the Phred+33 ASCII offset used by modern instruments.
+const QualityOffset = 33
+
+// MaxQuality is the largest Phred score we model (ASCII '~' - 33 = 93,
+// but instruments emit ≤ 45; we keep the codec alphabet tight).
+const MaxQuality = 63
+
+// Record is one sequencing read.
+type Record struct {
+	// Header is the read name without the leading '@'.
+	Header string
+	// Seq holds the base codes (genome.BaseA..BaseN).
+	Seq genome.Seq
+	// Qual holds Phred scores (not ASCII), one per base. A nil Qual
+	// means qualities were discarded (§5.1.5: optional).
+	Qual []byte
+}
+
+// Validate checks internal consistency.
+func (r *Record) Validate() error {
+	if r.Qual != nil && len(r.Qual) != len(r.Seq) {
+		return fmt.Errorf("fastq: record %q: %d bases but %d quality scores",
+			r.Header, len(r.Seq), len(r.Qual))
+	}
+	for i, q := range r.Qual {
+		if q > MaxQuality {
+			return fmt.Errorf("fastq: record %q: quality %d at %d exceeds %d",
+				r.Header, q, i, MaxQuality)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the record.
+func (r *Record) Clone() Record {
+	out := Record{Header: r.Header, Seq: r.Seq.Clone()}
+	if r.Qual != nil {
+		out.Qual = append([]byte(nil), r.Qual...)
+	}
+	return out
+}
+
+// ReadSet is a collection of records plus bookkeeping that the
+// compression experiments need.
+type ReadSet struct {
+	Records []Record
+}
+
+// TotalBases sums the read lengths.
+func (rs *ReadSet) TotalBases() int {
+	n := 0
+	for i := range rs.Records {
+		n += len(rs.Records[i].Seq)
+	}
+	return n
+}
+
+// HasQuality reports whether any record carries quality scores.
+func (rs *ReadSet) HasQuality() bool {
+	for i := range rs.Records {
+		if rs.Records[i].Qual != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// UncompressedSize returns the serialized FASTQ byte size (the
+// denominator of the paper's compression ratios, Table 2).
+func (rs *ReadSet) UncompressedSize() int {
+	n := 0
+	for i := range rs.Records {
+		r := &rs.Records[i]
+		n += 1 + len(r.Header) + 1 // @header\n
+		n += len(r.Seq) + 1        // bases\n
+		n += 2                     // +\n
+		if r.Qual != nil {
+			n += len(r.Qual)
+		}
+		n++ // \n
+	}
+	return n
+}
+
+// DNASize returns the byte size of the DNA lines only (bases + newline),
+// the denominator used for DNA-only compression ratios.
+func (rs *ReadSet) DNASize() int {
+	n := 0
+	for i := range rs.Records {
+		n += len(rs.Records[i].Seq) + 1
+	}
+	return n
+}
+
+// QualSize returns the byte size of the quality lines only.
+func (rs *ReadSet) QualSize() int {
+	n := 0
+	for i := range rs.Records {
+		if rs.Records[i].Qual != nil {
+			n += len(rs.Records[i].Qual) + 1
+		}
+	}
+	return n
+}
+
+// Write serializes the read set as FASTQ text.
+func (rs *ReadSet) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i := range rs.Records {
+		r := &rs.Records[i]
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n", r.Header, r.Seq.String()); err != nil {
+			return err
+		}
+		q := make([]byte, len(r.Qual)+1)
+		for j, p := range r.Qual {
+			q[j] = p + QualityOffset
+		}
+		q[len(q)-1] = '\n'
+		if r.Qual == nil {
+			q = q[len(q)-1:]
+		}
+		if _, err := bw.Write(q); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Bytes serializes the read set to a byte slice.
+func (rs *ReadSet) Bytes() []byte {
+	var buf bytes.Buffer
+	buf.Grow(rs.UncompressedSize())
+	if err := rs.Write(&buf); err != nil {
+		// Write to a bytes.Buffer only fails on invalid records.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Parse reads FASTQ text into a ReadSet.
+func Parse(r io.Reader) (*ReadSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	rs := &ReadSet{}
+	line := 0
+	for sc.Scan() {
+		line++
+		h := sc.Text()
+		if len(h) == 0 {
+			continue
+		}
+		if h[0] != '@' {
+			return nil, fmt.Errorf("fastq: line %d: expected '@', got %q", line, h)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("fastq: line %d: truncated record (no sequence)", line)
+		}
+		line++
+		seq, err := genome.FromString(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("fastq: line %d: %w", line, err)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("fastq: line %d: truncated record (no separator)", line)
+		}
+		line++
+		if sep := sc.Text(); len(sep) == 0 || sep[0] != '+' {
+			return nil, fmt.Errorf("fastq: line %d: expected '+', got %q", line, sep)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("fastq: line %d: truncated record (no quality)", line)
+		}
+		line++
+		qline := sc.Bytes()
+		var qual []byte
+		if len(qline) > 0 {
+			if len(qline) != len(seq) {
+				return nil, fmt.Errorf("fastq: line %d: %d quality chars for %d bases", line, len(qline), len(seq))
+			}
+			qual = make([]byte, len(qline))
+			for i, c := range qline {
+				if c < QualityOffset || c-QualityOffset > MaxQuality {
+					return nil, fmt.Errorf("fastq: line %d: quality char %q out of range", line, c)
+				}
+				qual[i] = c - QualityOffset
+			}
+		}
+		rs.Records = append(rs.Records, Record{Header: h[1:], Seq: seq, Qual: qual})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Equivalent reports whether two read sets contain the same multiset of
+// (sequence, quality, header) records, ignoring order. SAGe (like Spring)
+// reorders reads during compression (§5.1.3), so losslessness is defined
+// at the set level.
+func Equivalent(a, b *ReadSet) bool {
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	ka := recordKeys(a)
+	kb := recordKeys(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func recordKeys(rs *ReadSet) []string {
+	keys := make([]string, len(rs.Records))
+	for i := range rs.Records {
+		r := &rs.Records[i]
+		keys[i] = r.Seq.String() + "\x00" + string(r.Qual) + "\x00" + r.Header
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Batch groups records for pipelined processing (§3.1: I/O, decompression
+// and analysis operate on batches in a pipelined manner).
+type Batch struct {
+	Index   int
+	Records []Record
+}
+
+// Batches splits the read set into batches of at most size records.
+func (rs *ReadSet) Batches(size int) []Batch {
+	if size <= 0 {
+		size = 1
+	}
+	var out []Batch
+	for i := 0; i < len(rs.Records); i += size {
+		end := i + size
+		if end > len(rs.Records) {
+			end = len(rs.Records)
+		}
+		out = append(out, Batch{Index: len(out), Records: rs.Records[i:end]})
+	}
+	return out
+}

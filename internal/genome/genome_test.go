@@ -1,0 +1,218 @@
+package genome
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromStringRoundtrip(t *testing.T) {
+	in := "ACGTNacgtn"
+	s, err := FromString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "ACGTNACGTN" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFromStringInvalid(t *testing.T) {
+	if _, err := FromString("ACGX"); err == nil {
+		t.Fatal("expected error for invalid base")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{BaseA: BaseT, BaseT: BaseA, BaseC: BaseG, BaseG: BaseC, BaseN: BaseN}
+	for b, want := range pairs {
+		if got := Complement(b); got != want {
+			t.Errorf("Complement(%c)=%c want %c", BaseToChar(b), BaseToChar(got), BaseToChar(want))
+		}
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s := MustFromString("AACGT")
+	rc := s.ReverseComplement()
+	if got := rc.String(); got != "ACGTT" {
+		t.Fatalf("got %q want ACGTT", got)
+	}
+	// Involution.
+	if !rc.ReverseComplement().Equal(s) {
+		t.Fatal("reverse complement is not an involution")
+	}
+}
+
+func TestHasN(t *testing.T) {
+	if MustFromString("ACGT").HasN() {
+		t.Fatal("ACGT should not report N")
+	}
+	if !MustFromString("ACNT").HasN() {
+		t.Fatal("ACNT should report N")
+	}
+}
+
+func TestEncode2BitRejectsN(t *testing.T) {
+	if _, err := Encode(MustFromString("ACN"), Format2Bit); err == nil {
+		t.Fatal("expected error encoding N in 2-bit format")
+	}
+}
+
+func TestEncodeDecodeAllFormats(t *testing.T) {
+	seqs := []string{"", "A", "ACGT", "ACGTACGTA", "NNNN", "ACGNTAGCTANNGT"}
+	for _, f := range []Format{FormatASCII, Format3Bit, FormatOneHot} {
+		for _, str := range seqs {
+			s := MustFromString(str)
+			enc, err := Encode(s, f)
+			if err != nil {
+				t.Fatalf("%v %q: %v", f, str, err)
+			}
+			dec, err := Decode(enc, len(s), f)
+			if err != nil {
+				t.Fatalf("%v %q: %v", f, str, err)
+			}
+			if !dec.Equal(s) {
+				t.Fatalf("%v %q: got %q", f, str, dec.String())
+			}
+		}
+	}
+	// 2-bit only for N-free.
+	for _, str := range []string{"", "A", "ACGT", "ACGTACGTA"} {
+		s := MustFromString(str)
+		enc, err := Encode(s, Format2Bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc, len(s), Format2Bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(s) {
+			t.Fatalf("2bit %q: got %q", str, dec.String())
+		}
+	}
+}
+
+func TestBitsPerBase(t *testing.T) {
+	if Format2Bit.BitsPerBase() != 2 || Format3Bit.BitsPerBase() != 3 ||
+		FormatOneHot.BitsPerBase() != 4 || FormatASCII.BitsPerBase() != 8 {
+		t.Fatal("unexpected bits per base")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 512)
+		s := make(Seq, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(5)) // include N
+		}
+		for _, fmt := range []Format{FormatASCII, Format3Bit, FormatOneHot} {
+			enc, err := Encode(s, fmt)
+			if err != nil {
+				return false
+			}
+			dec, err := Decode(enc, n, fmt)
+			if err != nil || !dec.Equal(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIsNFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Random(rng, 10000)
+	if g.HasN() {
+		t.Fatal("Random genome must be N-free")
+	}
+	if len(g) != 10000 {
+		t.Fatalf("len %d", len(g))
+	}
+}
+
+func TestDonorAppliesVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := Random(rng, 50000)
+	p := HumanLikeProfile()
+	donor, variants := Donor(rng, ref, p)
+	if len(variants) == 0 {
+		t.Fatal("expected some variants at human-like rates over 50kb")
+	}
+	// Donor length differs from ref by net indel length.
+	net := 0
+	nSub := 0
+	for _, v := range variants {
+		switch v.Type {
+		case Insertion:
+			net += len(v.Bases)
+		case Deletion:
+			net -= len(v.Bases)
+		case Substitution:
+			nSub++
+			if len(v.Bases) != 1 {
+				t.Fatal("substitution must carry exactly one base")
+			}
+			if v.Bases[0] == ref[v.Pos] {
+				t.Fatal("substitution must change the base")
+			}
+		}
+	}
+	if len(donor) != len(ref)+net {
+		t.Fatalf("donor len %d want %d", len(donor), len(ref)+net)
+	}
+	if nSub == 0 {
+		t.Fatal("expected substitutions")
+	}
+	// SNP rate should be within a loose factor of the configured rate
+	// (hotspots raise the effective rate above the base rate).
+	rate := float64(nSub) / float64(len(ref))
+	if rate < p.SNPRate*0.5 || rate > p.SNPRate*8 {
+		t.Fatalf("snp rate %.5f far from configured %.5f", rate, p.SNPRate)
+	}
+}
+
+func TestDonorVariantsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := Random(rng, 20000)
+	_, variants := Donor(rng, ref, DivergentProfile())
+	for i := 1; i < len(variants); i++ {
+		if variants[i].Pos < variants[i-1].Pos {
+			t.Fatal("variants not sorted by position")
+		}
+	}
+}
+
+func TestDonorDeterministicGivenSeed(t *testing.T) {
+	ref := Random(rand.New(rand.NewSource(9)), 5000)
+	d1, _ := Donor(rand.New(rand.NewSource(42)), ref, HumanLikeProfile())
+	d2, _ := Donor(rand.New(rand.NewSource(42)), ref, HumanLikeProfile())
+	if !d1.Equal(d2) {
+		t.Fatal("Donor must be deterministic for a fixed seed")
+	}
+}
+
+func TestGeometricLenSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n1, total := 0, 20000
+	for i := 0; i < total; i++ {
+		l := geometricLen(rng, 20)
+		if l < 1 || l > 20 {
+			t.Fatalf("length %d out of range", l)
+		}
+		if l == 1 {
+			n1++
+		}
+	}
+	// ~70% should be single-base (Property 3 skew).
+	frac := float64(n1) / float64(total)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("single-base fraction %.2f outside [0.6,0.8]", frac)
+	}
+}

@@ -1,0 +1,175 @@
+package genome
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// VariantType distinguishes the three mismatch classes SAGe encodes
+// (§5.1.2: substitution, insertion, deletion).
+type VariantType uint8
+
+const (
+	// Substitution replaces one base with a different one.
+	Substitution VariantType = iota
+	// Insertion inserts one or more bases after a position.
+	Insertion
+	// Deletion removes one or more bases starting at a position.
+	Deletion
+)
+
+func (v VariantType) String() string {
+	switch v {
+	case Substitution:
+		return "sub"
+	case Insertion:
+		return "ins"
+	case Deletion:
+		return "del"
+	default:
+		return "?"
+	}
+}
+
+// Variant is a single genetic difference between a donor genome and the
+// reference it derives from.
+type Variant struct {
+	Type VariantType
+	// Pos is the 0-based reference coordinate of the variant.
+	Pos int
+	// Bases holds the substituted or inserted bases; for deletions it
+	// records the deleted reference bases (length = deletion length).
+	Bases Seq
+}
+
+// VariationProfile parameterizes donor-genome generation. The defaults
+// reflect the spatial clustering of genetic variation the paper leverages
+// (Property 1, §5.1.1): mutations cluster in hotspot regions
+// [Tian+ Nature'08, Amos PLOS One'13].
+type VariationProfile struct {
+	// SNPRate is the per-base substitution probability outside hotspots.
+	SNPRate float64
+	// IndelRate is the per-base insertion/deletion probability.
+	IndelRate float64
+	// HotspotFraction is the fraction of the genome inside mutation
+	// hotspots; HotspotBoost multiplies rates there.
+	HotspotFraction float64
+	HotspotBoost    float64
+	// HotspotSpan is the mean hotspot length in bases.
+	HotspotSpan int
+	// MaxIndelLen bounds indel lengths; lengths are geometric with the
+	// strong skew toward single-base indels seen in real data
+	// (Property 3, §5.1.1).
+	MaxIndelLen int
+}
+
+// HumanLikeProfile returns variation parameters on the order of observed
+// human diversity relative to a reference (~0.1% SNPs, rarer indels).
+func HumanLikeProfile() VariationProfile {
+	return VariationProfile{
+		SNPRate:         0.001,
+		IndelRate:       0.0001,
+		HotspotFraction: 0.05,
+		HotspotBoost:    8,
+		HotspotSpan:     500,
+		MaxIndelLen:     12,
+	}
+}
+
+// DivergentProfile returns a higher-diversity profile (e.g., a sample far
+// from the reference, or a non-model organism), which stresses SAGe's
+// mismatch encoding the way RS3 does in the paper (lower ratio, Table 2).
+func DivergentProfile() VariationProfile {
+	return VariationProfile{
+		SNPRate:         0.008,
+		IndelRate:       0.0008,
+		HotspotFraction: 0.10,
+		HotspotBoost:    6,
+		HotspotSpan:     300,
+		MaxIndelLen:     16,
+	}
+}
+
+// Donor derives a donor genome from ref under profile p, returning the
+// donor sequence and the sorted variant list (reference coordinates).
+func Donor(rng *rand.Rand, ref Seq, p VariationProfile) (Seq, []Variant) {
+	hot := hotspotMask(rng, len(ref), p)
+	var variants []Variant
+	out := make(Seq, 0, len(ref)+len(ref)/100)
+	for i := 0; i < len(ref); i++ {
+		snp, indel := p.SNPRate, p.IndelRate
+		if hot != nil && hot[i] {
+			snp *= p.HotspotBoost
+			indel *= p.HotspotBoost
+		}
+		r := rng.Float64()
+		switch {
+		case r < snp:
+			nb := substituteBase(rng, ref[i])
+			variants = append(variants, Variant{Type: Substitution, Pos: i, Bases: Seq{nb}})
+			out = append(out, nb)
+		case r < snp+indel:
+			l := geometricLen(rng, p.MaxIndelLen)
+			if rng.Intn(2) == 0 { // insertion
+				ins := Random(rng, l)
+				variants = append(variants, Variant{Type: Insertion, Pos: i, Bases: ins})
+				out = append(out, ref[i])
+				out = append(out, ins...)
+			} else { // deletion
+				if i+l > len(ref) {
+					l = len(ref) - i
+				}
+				variants = append(variants, Variant{Type: Deletion, Pos: i, Bases: ref[i : i+l].Clone()})
+				i += l - 1 // skip deleted bases
+			}
+		default:
+			out = append(out, ref[i])
+		}
+	}
+	sort.Slice(variants, func(a, b int) bool { return variants[a].Pos < variants[b].Pos })
+	return out, variants
+}
+
+// hotspotMask marks hotspot positions; nil when hotspots are disabled.
+func hotspotMask(rng *rand.Rand, n int, p VariationProfile) []bool {
+	if p.HotspotFraction <= 0 || p.HotspotSpan <= 0 || n == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	covered := 0
+	target := int(float64(n) * p.HotspotFraction)
+	for covered < target {
+		span := p.HotspotSpan/2 + rng.Intn(p.HotspotSpan+1)
+		start := rng.Intn(n)
+		for j := start; j < n && j < start+span; j++ {
+			if !mask[j] {
+				mask[j] = true
+				covered++
+			}
+		}
+	}
+	return mask
+}
+
+// substituteBase returns a uniformly random base different from b.
+func substituteBase(rng *rand.Rand, b byte) byte {
+	nb := byte(rng.Intn(3))
+	if nb >= b {
+		nb++
+	}
+	return nb
+}
+
+// geometricLen draws an indel length with P(len=k) ∝ 0.7^(k-1), truncated
+// at maxLen. ~70% of draws are length 1, matching the indel-block skew in
+// Fig. 7(c).
+func geometricLen(rng *rand.Rand, maxLen int) int {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	l := 1
+	for l < maxLen && rng.Float64() < 0.30 {
+		l++
+	}
+	return l
+}

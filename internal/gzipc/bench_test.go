@@ -1,0 +1,41 @@
+package gzipc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData() []byte {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 2<<20)
+	for i := range data {
+		data[i] = "ACGT"[rng.Intn(4)]
+	}
+	return data
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := benchData()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := benchData()
+	comp, err := Compress(data, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

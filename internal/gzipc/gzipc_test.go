@@ -1,0 +1,107 @@
+package gzipc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtripEmpty(t *testing.T) {
+	c, err := Compress(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompress(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Fatalf("got %d bytes", len(d))
+	}
+}
+
+func TestRoundtripMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 700000) // ~6 blocks at default size
+	for i := range data {
+		data[i] = "ACGT"[rng.Intn(4)]
+	}
+	c, err := Compress(data, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data) {
+		t.Fatalf("no compression: %d vs %d", len(c), len(data))
+	}
+	d, err := Decompress(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestSmallBlocks(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	opt := Options{BlockSize: 8, Level: 9}
+	c, err := Compress(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompress(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte("xx"), DefaultOptions()); err == nil {
+		t.Fatal("expected error for short input")
+	}
+	if _, err := Decompress([]byte("XXXX\x00\x00"), DefaultOptions()); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	c, err := Compress([]byte("hello world hello world"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(c[:len(c)-2], DefaultOptions()); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(data []byte, blockExp uint8) bool {
+		opt := Options{BlockSize: 1 << (blockExp%12 + 3), Level: 6}
+		c, err := Compress(data, opt)
+		if err != nil {
+			return false
+		}
+		d, err := Decompress(c, opt)
+		return err == nil && bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerLimit(t *testing.T) {
+	data := bytes.Repeat([]byte("genome"), 100000)
+	opt := Options{BlockSize: 1 << 14, Level: 6, Workers: 1}
+	c, err := Compress(data, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompress(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("roundtrip mismatch with single worker")
+	}
+}

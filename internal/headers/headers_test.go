@@ -1,0 +1,156 @@
+package headers
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, hs []string) []byte {
+	t.Helper()
+	data, err := Compress(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(hs) {
+		t.Fatalf("got %d headers want %d", len(got), len(hs))
+	}
+	for i := range hs {
+		if got[i] != hs[i] {
+			t.Fatalf("header %d: %q want %q", i, got[i], hs[i])
+		}
+	}
+	return data
+}
+
+func TestTemplatedRoundtrip(t *testing.T) {
+	var hs []string
+	for i := 0; i < 1000; i++ {
+		hs = append(hs, fmt.Sprintf("SRR870667.%d length=150", i+1))
+	}
+	data := roundtrip(t, hs)
+	if data[0] != modeTemplated {
+		t.Fatal("expected templated mode")
+	}
+	// Sequential numbering should compress to ~2-3 bits/header.
+	raw := 0
+	for _, h := range hs {
+		raw += len(h) + 1
+	}
+	if len(data)*4 > raw {
+		t.Fatalf("templated compression too weak: %d vs raw %d", len(data), raw)
+	}
+}
+
+func TestLeadingZerosPreserved(t *testing.T) {
+	roundtrip(t, []string{"run007 tile0001", "run008 tile0002", "run009 tile0010"})
+}
+
+func TestMixedTemplatesFallBackToRaw(t *testing.T) {
+	hs := []string{"alpha.1", "beta two", "gamma-3-x", "12start"}
+	data := roundtrip(t, hs)
+	if data[0] != modeRaw {
+		t.Fatal("expected raw mode for mixed templates")
+	}
+}
+
+func TestEmptyAndSingleHeader(t *testing.T) {
+	roundtrip(t, nil)
+	roundtrip(t, []string{"only.1"})
+	roundtrip(t, []string{""})
+}
+
+func TestDecreasingNumbers(t *testing.T) {
+	roundtrip(t, []string{"r.100", "r.50", "r.200", "r.1"})
+}
+
+func TestHugeDigitRunsAreLiterals(t *testing.T) {
+	h := "x.12345678901234567890123456789" // > 18 digits: literal
+	roundtrip(t, []string{h, h})
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+	if _, err := Decompress([]byte{99}); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+	if _, err := Decompress([]byte{modeTemplated}); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestQuickTemplated(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		hs := make([]string, n)
+		for i := range hs {
+			hs[i] = fmt.Sprintf("inst%d:%d:%d flow=%d", rng.Intn(10000), rng.Intn(100), i, rng.Intn(1<<30))
+		}
+		data, err := Compress(hs)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(data)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range hs {
+			if got[i] != hs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickArbitraryStrings(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		hs := make([]string, len(raw))
+		for i, b := range raw {
+			// Strip newlines (headers never contain them).
+			s := make([]byte, 0, len(b))
+			for _, c := range b {
+				if c != '\n' && c != 0 {
+					s = append(s, c)
+				}
+			}
+			hs[i] = string(s)
+		}
+		data, err := Compress(hs)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(data)
+		if err != nil || len(got) != len(hs) {
+			return false
+		}
+		for i := range hs {
+			if got[i] != hs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Fatalf("zigzag roundtrip failed for %d", v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package hw models SAGe's decompression hardware: the per-channel Scan
+// Unit, Read Construction Unit, Control Unit and double registers of §5.2
+// and §6, with the area and power figures of Table 1 (Design Compiler
+// synthesis at 22 nm, 1 GHz).
+//
+// Functionally, the hardware computes exactly what internal/core's
+// ScanUnit/ReadConstructionUnit compute (the software decoder IS the
+// functional model). This package adds the physical side: instance
+// counts, area, power, and the throughput law that makes SAGe disappear
+// from the pipeline's critical path — the units consume streams at NAND
+// line rate, so decompression time is hidden behind the flash read
+// itself (§8.2: "their throughput is already sufficient because SAGe's
+// accelerator operations are bottlenecked by the NAND flash read
+// throughput").
+package hw
+
+import (
+	"time"
+)
+
+// Unit describes one logic unit instance (Table 1).
+type Unit struct {
+	Name      string
+	AreaMM2   float64 // mm² at 22 nm
+	PowerMW   float64 // mW at 1 GHz
+	PerChan   int     // instances per SSD channel
+	Mode3Only bool    // double registers exist only for in-SSD integration
+}
+
+// Table1Units returns the paper's synthesized units.
+func Table1Units() []Unit {
+	return []Unit{
+		{Name: "Scan Unit", AreaMM2: 0.000045, PowerMW: 0.014, PerChan: 1},
+		{Name: "Read Construction Unit", AreaMM2: 0.000017, PowerMW: 0.023, PerChan: 1},
+		{Name: "Double Registers", AreaMM2: 0.00020, PowerMW: 0.035, PerChan: 1, Mode3Only: true},
+		{Name: "Control Unit", AreaMM2: 0.000029, PowerMW: 0.025, PerChan: 1},
+	}
+}
+
+// IntegrationMode selects how SAGe attaches to the analysis system
+// (Fig. 12).
+type IntegrationMode int
+
+const (
+	// ModePCIe (①): standalone SAGe hardware on PCIe/CXL.
+	ModePCIe IntegrationMode = iota
+	// ModeOnChip (②): same chip as the analysis accelerator.
+	ModeOnChip
+	// ModeInSSD (③): on the SSD controller, fed per channel from flash
+	// through double registers.
+	ModeInSSD
+)
+
+func (m IntegrationMode) String() string {
+	switch m {
+	case ModePCIe:
+		return "pcie"
+	case ModeOnChip:
+		return "on-chip"
+	case ModeInSSD:
+		return "in-ssd"
+	default:
+		return "unknown"
+	}
+}
+
+// AreaPower aggregates Table 1 for a controller.
+type AreaPower struct {
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// Totals computes area/power for an n-channel deployment in a mode.
+// For an 8-channel SSD this reproduces Table 1's totals: 0.002 mm² and
+// 0.49 mW, plus 0.28 mW of double registers for mode ③.
+func Totals(channels int, mode IntegrationMode) AreaPower {
+	var ap AreaPower
+	for _, u := range Table1Units() {
+		if u.Mode3Only && mode != ModeInSSD {
+			continue
+		}
+		n := float64(u.PerChan * channels)
+		ap.AreaMM2 += u.AreaMM2 * n
+		ap.PowerMW += u.PowerMW * n
+	}
+	return ap
+}
+
+// CortexR4AreaMM2 is the area of one SSD-controller core (ARM Cortex-R4
+// class, 22 nm), the yardstick of the paper's "0.7% of the three cores in
+// an SSD controller" claim.
+const CortexR4AreaMM2 = 0.10
+
+// AreaFractionOfControllerCores returns SAGe's area as a fraction of the
+// given number of controller cores.
+func AreaFractionOfControllerCores(channels, cores int, mode IntegrationMode) float64 {
+	return Totals(channels, mode).AreaMM2 / (CortexR4AreaMM2 * float64(cores))
+}
+
+// Throughput is the hardware decode model.
+type Throughput struct {
+	// StreamMBps is the rate at which one channel's SU+RCU pair consumes
+	// compressed input. The units run at 1 GHz processing multiple bits
+	// per cycle; the paper sizes them to exceed the per-channel NAND bus
+	// (§8.2), which DecodeTime enforces via the min() with flash supply.
+	StreamMBps float64
+	Channels   int
+}
+
+// DefaultThroughput sizes the units per the paper: each channel's decoder
+// keeps up with its NAND bus.
+func DefaultThroughput(channels int) Throughput {
+	return Throughput{StreamMBps: 1600, Channels: channels}
+}
+
+// DecodeTime models decompressing compressedBytes that arrive from flash
+// at supplyMBps aggregate: the decoder array runs at line rate, so the
+// slower of supply and decode capacity dominates; outputBytes then leave
+// through the egress link at egressMBps (0 = on-chip, no egress cost).
+// All three phases overlap in steady state (§5.2: streaming, batch
+// pipelined), so the result is the max of the three times plus one
+// pipeline fill latency.
+func (t Throughput) DecodeTime(compressedBytes, outputBytes int64, supplyMBps, egressMBps float64) time.Duration {
+	decodeBps := t.StreamMBps * 1e6 * float64(t.Channels)
+	supplyBps := supplyMBps * 1e6
+	phases := []float64{
+		float64(compressedBytes) / supplyBps,
+		float64(compressedBytes) / decodeBps,
+	}
+	if egressMBps > 0 {
+		phases = append(phases, float64(outputBytes)/(egressMBps*1e6))
+	}
+	worst := 0.0
+	for _, p := range phases {
+		if p > worst {
+			worst = p
+		}
+	}
+	const fill = 10 * time.Microsecond
+	return time.Duration(worst*float64(time.Second)) + fill
+}
+
+// Power returns the active power draw in watts for a deployment.
+func Power(channels int, mode IntegrationMode) float64 {
+	return Totals(channels, mode).PowerMW / 1000
+}

@@ -1,0 +1,78 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTable1Totals(t *testing.T) {
+	// Paper Table 1: total for an 8-channel SSD is 0.002 mm² and
+	// 0.49 mW (+0.28 mW of double registers for mode ③).
+	base := Totals(8, ModePCIe)
+	if math.Abs(base.AreaMM2-8*(0.000045+0.000017+0.000029)) > 1e-9 {
+		t.Fatalf("area %.6f", base.AreaMM2)
+	}
+	if math.Abs(base.PowerMW-0.496) > 1e-9 {
+		t.Fatalf("power %.3f mW want 0.496", base.PowerMW)
+	}
+	mode3 := Totals(8, ModeInSSD)
+	if math.Abs((mode3.PowerMW-base.PowerMW)-0.28) > 1e-9 {
+		t.Fatalf("double register power delta %.3f want 0.28", mode3.PowerMW-base.PowerMW)
+	}
+	if mode3.AreaMM2 <= base.AreaMM2 {
+		t.Fatal("mode 3 must add double-register area")
+	}
+	// Total area including double registers ≈ 0.0023 mm² ~ "0.002 mm²".
+	if mode3.AreaMM2 > 0.0035 || mode3.AreaMM2 < 0.002 {
+		t.Fatalf("mode3 area %.4f outside Table 1 ballpark", mode3.AreaMM2)
+	}
+}
+
+func TestAreaFractionOfControllerCores(t *testing.T) {
+	// §1: "a very low area cost of 0.7% of the three cores in an SSD
+	// controller".
+	frac := AreaFractionOfControllerCores(8, 3, ModeInSSD)
+	if frac < 0.002 || frac > 0.02 {
+		t.Fatalf("area fraction %.4f outside the sub-percent ballpark", frac)
+	}
+}
+
+func TestDecodeTimeLineRate(t *testing.T) {
+	th := DefaultThroughput(8)
+	// Decoder capacity (8×1600 MB/s) exceeds flash supply (9600 MB/s)?
+	// 12800 > 9600, so supply dominates.
+	comp := int64(1 << 30)
+	d := th.DecodeTime(comp, comp*16, 9600, 0)
+	supply := time.Duration(float64(comp) / (9600e6) * float64(time.Second))
+	if d < supply {
+		t.Fatal("decode cannot beat its input supply")
+	}
+	if d > supply+time.Millisecond {
+		t.Fatalf("decode %v should track supply %v (line rate)", d, supply)
+	}
+}
+
+func TestDecodeTimeEgressBound(t *testing.T) {
+	th := DefaultThroughput(8)
+	comp := int64(100 << 20)
+	out := comp * 16
+	// Narrow egress (SATA-class 560 MB/s) must dominate.
+	d := th.DecodeTime(comp, out, 9600, 560)
+	egress := time.Duration(float64(out) / 560e6 * float64(time.Second))
+	if d < egress {
+		t.Fatal("egress-bound decode must not beat the egress link")
+	}
+}
+
+func TestIntegrationModeString(t *testing.T) {
+	if ModePCIe.String() != "pcie" || ModeOnChip.String() != "on-chip" || ModeInSSD.String() != "in-ssd" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestPowerWatts(t *testing.T) {
+	if p := Power(8, ModeInSSD); math.Abs(p-0.000776) > 1e-9 {
+		t.Fatalf("power %.6f W", p)
+	}
+}

@@ -1,0 +1,55 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: decode time is monotone in payload sizes and never beats any
+// of its three overlapped phases.
+func TestQuickDecodeTimeMonotone(t *testing.T) {
+	th := DefaultThroughput(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		comp := int64(rng.Intn(1<<30) + 1)
+		out := comp * int64(rng.Intn(30)+1)
+		supply := float64(rng.Intn(20000) + 100)
+		egress := float64(rng.Intn(20000))
+		d1 := th.DecodeTime(comp, out, supply, egress)
+		d2 := th.DecodeTime(comp*2, out*2, supply, egress)
+		if d2 < d1 {
+			return false
+		}
+		// Lower bounds: supply and egress phases.
+		if s := th.DecodeTime(comp, out, supply, 0); d1 < s && egress == 0 {
+			return false
+		}
+		return d1 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-channel area/power totals scale linearly with channels.
+func TestQuickTotalsLinear(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		one := Totals(1, ModeInSSD)
+		many := Totals(n, ModeInSSD)
+		const eps = 1e-12
+		return abs(many.AreaMM2-float64(n)*one.AreaMM2) < eps &&
+			abs(many.PowerMW-float64(n)*one.PowerMW) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,275 @@
+package mapper
+
+import (
+	"fmt"
+
+	"sage/internal/genome"
+)
+
+// Edit is one difference between a read (or read segment) and the
+// consensus, in read-local coordinates. The SAGe encoder serializes edits
+// into the mismatch position / base / type arrays (§5.1.1–5.1.2).
+type Edit struct {
+	// ReadPos is the 0-based position in the read (segment) where the
+	// edit takes effect:
+	//   Substitution: the read base at ReadPos differs from consensus.
+	//   Insertion:    Bases were inserted starting at ReadPos.
+	//   Deletion:     DelLen consensus bases are skipped immediately
+	//                 before emitting the read base at ReadPos.
+	ReadPos int
+	Type    genome.VariantType
+	// Bases holds the read bases for substitutions (len 1) and
+	// insertions (len = block length); nil for deletions.
+	Bases genome.Seq
+	// DelLen is the deletion block length; 0 otherwise.
+	DelLen int
+}
+
+// Len returns the indel block length (1 for substitutions).
+func (e Edit) Len() int {
+	if e.Type == genome.Deletion {
+		return e.DelLen
+	}
+	if e.Type == genome.Insertion {
+		return len(e.Bases)
+	}
+	return 1
+}
+
+// Segment is one contiguously-mapped piece of a read. Non-chimeric reads
+// have exactly one segment spanning the whole read; chimeric reads have up
+// to MaxChimericSegments (§5.1.2: top-N matching positions, N = 3).
+type Segment struct {
+	// ReadStart/ReadLen delimit the segment within the read.
+	ReadStart, ReadLen int
+	// ConsPos is the consensus position where the segment's alignment
+	// begins.
+	ConsPos int
+	// Rev marks a reverse-complement match: the reverse complement of
+	// the read segment aligns forward at ConsPos.
+	Rev bool
+	// Edits lists differences in segment-local coordinates, sorted by
+	// ReadPos (the coordinate is relative to ReadStart, after
+	// reverse-complementing when Rev is set).
+	Edits []Edit
+	// Cost is the unit edit cost of the alignment.
+	Cost int
+}
+
+// Alignment is the mapper's verdict for one read.
+type Alignment struct {
+	// Mapped is false when no consensus region explains the read; such
+	// reads are stored raw (the "Unmapped" stream of Fig. 17).
+	Mapped bool
+	// Segments is non-empty iff Mapped; segments are sorted by
+	// ReadStart and partition [0, readLen).
+	Segments []Segment
+}
+
+// NumMismatches totals the edit count across segments.
+func (a *Alignment) NumMismatches() int {
+	n := 0
+	for i := range a.Segments {
+		n += len(a.Segments[i].Edits)
+	}
+	return n
+}
+
+// opKind is a traceback operation.
+type opKind uint8
+
+const (
+	opMatch opKind = iota
+	opSub
+	opIns // read base not present in consensus
+	opDel // consensus base not present in read
+)
+
+// fitAlign computes a banded fitting alignment: the read is aligned
+// end-to-end against a window of the consensus, with the window's prefix
+// and suffix free (the read may start anywhere in the window). It returns
+// the window offset where the alignment begins, the edit list in read
+// coordinates, and the unit cost.
+//
+// band bounds |windowCol - readRow| during the DP; callers size it from
+// the observed seed-diagonal spread plus slack, which keeps the DP linear
+// in read length, the same reason SAGe's hardware can stream (§5.2).
+func fitAlign(read, window genome.Seq, band int) (consStart int, edits []Edit, cost int, err error) {
+	n, m := len(read), len(window)
+	if n == 0 {
+		return 0, nil, 0, nil
+	}
+	if m == 0 {
+		return 0, nil, 0, fmt.Errorf("mapper: empty consensus window")
+	}
+	if band < 1 {
+		band = 1
+	}
+	width := 2*band + 1
+	const inf = int32(1) << 30
+	// dp[i][j-i+band]; rows 0..n, banded columns.
+	dp := make([]int32, (n+1)*width)
+	tb := make([]opKind, (n+1)*width)
+	at := func(i, j int) int { return i*width + (j - i + band) }
+	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band && j >= 0 && j <= m }
+
+	// Row 0: free start anywhere in the window (fitting alignment).
+	for j := 0; j <= m; j++ {
+		if inBand(0, j) {
+			dp[at(0, j)] = 0
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo, hi := i-band, i+band
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			best, op := inf, opMatch
+			// Diagonal: consume read[i-1] and window[j-1].
+			if j > 0 && inBand(i-1, j-1) {
+				c := dp[at(i-1, j-1)]
+				if read[i-1] != window[j-1] || read[i-1] > genome.BaseT {
+					c++
+					if c < best {
+						best, op = c, opSub
+					}
+				} else if c < best {
+					best, op = c, opMatch
+				}
+			}
+			// Up: consume read[i-1] only (insertion in read).
+			if inBand(i-1, j) {
+				if c := dp[at(i-1, j)] + 1; c < best {
+					best, op = c, opIns
+				}
+			}
+			// Left: consume window[j-1] only (deletion from read).
+			if j > 0 && inBand(i, j-1) {
+				if c := dp[at(i, j-1)] + 1; c < best {
+					best, op = c, opDel
+				}
+			}
+			dp[at(i, j)] = best
+			tb[at(i, j)] = op
+		}
+	}
+	// Free end: best cell in the last row.
+	bestJ, bestC := -1, inf
+	lo, hi := n-band, n+band
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m {
+		hi = m
+	}
+	for j := lo; j <= hi; j++ {
+		if c := dp[at(n, j)]; c < bestC {
+			bestC, bestJ = c, j
+		}
+	}
+	if bestJ < 0 || bestC >= inf {
+		return 0, nil, 0, fmt.Errorf("mapper: banded alignment found no feasible path (band=%d)", band)
+	}
+
+	// Traceback, collecting ops in reverse.
+	ops := make([]opKind, 0, n+int(bestC))
+	i, j := n, bestJ
+	for i > 0 {
+		op := tb[at(i, j)]
+		ops = append(ops, op)
+		switch op {
+		case opMatch, opSub:
+			i, j = i-1, j-1
+		case opIns:
+			i--
+		case opDel:
+			j--
+		}
+	}
+	consStart = j
+
+	// Forward pass: merge runs of opIns/opDel into blocks (SAGe stores
+	// the first mismatch position plus the block length, §5.1.1).
+	readPos := 0
+	for k := len(ops) - 1; k >= 0; {
+		switch ops[k] {
+		case opMatch:
+			readPos++
+			k--
+		case opSub:
+			edits = append(edits, Edit{
+				ReadPos: readPos,
+				Type:    genome.Substitution,
+				Bases:   genome.Seq{read[readPos]},
+			})
+			readPos++
+			k--
+		case opIns:
+			start := readPos
+			for k >= 0 && ops[k] == opIns {
+				readPos++
+				k--
+			}
+			edits = append(edits, Edit{
+				ReadPos: start,
+				Type:    genome.Insertion,
+				Bases:   read[start:readPos].Clone(),
+			})
+		case opDel:
+			dl := 0
+			for k >= 0 && ops[k] == opDel {
+				dl++
+				k--
+			}
+			edits = append(edits, Edit{
+				ReadPos: readPos,
+				Type:    genome.Deletion,
+				DelLen:  dl,
+			})
+		}
+	}
+	return consStart, edits, int(bestC), nil
+}
+
+// ReconstructSegment rebuilds a read segment from the consensus and its
+// alignment — the exact operation the Read Construction Unit performs in
+// hardware (§5.2.2 ⑪). It is used by tests and by the SAGe decoder.
+func ReconstructSegment(cons genome.Seq, consPos int, segLen int, edits []Edit) (genome.Seq, error) {
+	out := make(genome.Seq, 0, segLen)
+	c := consPos
+	copyTo := func(readPos int) error {
+		for len(out) < readPos {
+			if c < 0 || c >= len(cons) {
+				return fmt.Errorf("mapper: consensus cursor %d out of range", c)
+			}
+			out = append(out, cons[c])
+			c++
+		}
+		return nil
+	}
+	for _, e := range edits {
+		if err := copyTo(e.ReadPos); err != nil {
+			return nil, err
+		}
+		switch e.Type {
+		case genome.Substitution:
+			out = append(out, e.Bases[0])
+			c++
+		case genome.Insertion:
+			out = append(out, e.Bases...)
+		case genome.Deletion:
+			c += e.DelLen
+		}
+	}
+	if err := copyTo(segLen); err != nil {
+		return nil, err
+	}
+	if len(out) != segLen {
+		return nil, fmt.Errorf("mapper: reconstructed %d bases, want %d", len(out), segLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,341 @@
+package mapper
+
+import (
+	"sort"
+
+	"sage/internal/genome"
+)
+
+// MaxChimericSegments is the paper's N for top-N matching positions of
+// chimeric reads (§5.1.2 footnote 7: "We use N = 3").
+const MaxChimericSegments = 3
+
+// Config parameterizes the mapper.
+type Config struct {
+	Index IndexConfig
+	// SeedStep samples every SeedStep-th read k-mer during seeding.
+	SeedStep int
+	// DiagSlack merges seed hits whose diagonals differ by at most this
+	// much into one cluster (accommodates indel drift).
+	DiagSlack int
+	// MinSeeds is the minimum cluster size to consider a candidate.
+	MinSeeds int
+	// BandPad is added to the observed diagonal spread to size the
+	// alignment band.
+	BandPad int
+	// MaxCostFrac rejects alignments costing more than this fraction of
+	// the read length; such reads go to the unmapped stream.
+	MaxCostFrac float64
+	// ChimeraMinSpan is the minimum read span (bases) a secondary
+	// cluster must cover to justify a chimeric split.
+	ChimeraMinSpan int
+	// DisableChimeric restricts every read to its single best matching
+	// position, the pre-O3 behaviour of prior compressors the paper
+	// compares against in Fig. 17 (§5.1.2).
+	DisableChimeric bool
+}
+
+// DefaultConfig returns mapper settings that handle both short accurate
+// reads and long error-prone reads.
+func DefaultConfig() Config {
+	return Config{
+		Index:          DefaultIndexConfig(),
+		SeedStep:       4,
+		DiagSlack:      48,
+		MinSeeds:       2,
+		BandPad:        40,
+		MaxCostFrac:    0.35,
+		ChimeraMinSpan: 120,
+	}
+}
+
+// Mapper maps reads against a fixed consensus.
+type Mapper struct {
+	cfg Config
+	idx *Index
+}
+
+// New builds a mapper over cons.
+func New(cons genome.Seq, cfg Config) (*Mapper, error) {
+	idx, err := NewIndex(cons, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SeedStep < 1 {
+		cfg.SeedStep = 1
+	}
+	if cfg.MaxCostFrac <= 0 {
+		cfg.MaxCostFrac = 0.35
+	}
+	return &Mapper{cfg: cfg, idx: idx}, nil
+}
+
+// Consensus returns the consensus the mapper aligns against.
+func (m *Mapper) Consensus() genome.Seq { return m.idx.cons }
+
+// seedHit is one k-mer match between read and consensus.
+type seedHit struct {
+	readPos int
+	diag    int // consPos - readPos
+}
+
+// cluster is a group of co-diagonal seed hits.
+type cluster struct {
+	rev              bool
+	minDiag, maxDiag int
+	minRead, maxRead int
+	count            int
+}
+
+func (c *cluster) span() int { return c.maxRead - c.minRead + 1 }
+
+// Map aligns one read against the consensus. Reads with no adequate
+// alignment return Alignment{Mapped: false}.
+func (m *Mapper) Map(read genome.Seq) Alignment {
+	if len(read) < m.idx.k {
+		return Alignment{}
+	}
+	fwd := m.collectClusters(read, false)
+	rc := read.ReverseComplement()
+	rev := m.collectClusters(rc, true)
+	clusters := append(fwd, rev...)
+	if len(clusters) == 0 {
+		return Alignment{}
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a].count > clusters[b].count })
+
+	// Candidate 1: whole-read alignment on the best cluster.
+	var candidates []Alignment
+	if seg, ok := m.alignWhole(read, rc, clusters[0]); ok {
+		candidates = append(candidates, Alignment{Mapped: true, Segments: []Segment{seg}})
+	}
+	// Candidate 2: chimeric split across up to MaxChimericSegments
+	// clusters (§5.1.2, Fig. 9). The paper keeps whichever encoding
+	// yields fewer mismatches; segmentPenalty charges for the extra
+	// matching position each additional segment must store.
+	if !m.cfg.DisableChimeric {
+		if segs, ok := m.alignChimeric(read, rc, clusters); ok {
+			candidates = append(candidates, Alignment{Mapped: true, Segments: segs})
+		}
+	}
+	const segmentPenalty = 16
+	bestCost := int(^uint(0) >> 1)
+	var best Alignment
+	for _, c := range candidates {
+		cost := segmentPenalty * (len(c.Segments) - 1)
+		for _, s := range c.Segments {
+			cost += s.Cost
+		}
+		if cost < bestCost {
+			bestCost, best = cost, c
+		}
+	}
+	if !best.Mapped || float64(bestCost) > m.cfg.MaxCostFrac*float64(len(read)) {
+		return Alignment{}
+	}
+	return best
+}
+
+// collectClusters seeds oriented as given and clusters hits by diagonal.
+func (m *Mapper) collectClusters(oriented genome.Seq, rev bool) []cluster {
+	var hits []seedHit
+	ForEachKmer(oriented, m.idx.k, m.cfg.SeedStep, func(p int, code uint64) {
+		for _, cp := range m.idx.Lookup(code) {
+			hits = append(hits, seedHit{readPos: p, diag: int(cp) - p})
+		}
+	})
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].diag < hits[b].diag })
+	var out []cluster
+	cur := cluster{rev: rev, minDiag: hits[0].diag, maxDiag: hits[0].diag,
+		minRead: hits[0].readPos, maxRead: hits[0].readPos, count: 1}
+	for _, h := range hits[1:] {
+		if h.diag-cur.maxDiag <= m.cfg.DiagSlack {
+			cur.maxDiag = h.diag
+			cur.count++
+			if h.readPos < cur.minRead {
+				cur.minRead = h.readPos
+			}
+			if h.readPos > cur.maxRead {
+				cur.maxRead = h.readPos
+			}
+		} else {
+			if cur.count >= m.cfg.MinSeeds {
+				out = append(out, cur)
+			}
+			cur = cluster{rev: rev, minDiag: h.diag, maxDiag: h.diag,
+				minRead: h.readPos, maxRead: h.readPos, count: 1}
+		}
+	}
+	if cur.count >= m.cfg.MinSeeds {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// alignWhole aligns the entire read along cluster c.
+func (m *Mapper) alignWhole(read, rc genome.Seq, c cluster) (Segment, bool) {
+	oriented := read
+	if c.rev {
+		oriented = rc
+	}
+	return m.alignPiece(oriented, 0, len(oriented), c)
+}
+
+// alignPiece aligns oriented[start:end] against the consensus window
+// implied by cluster c. The returned segment uses read coordinates of the
+// oriented (possibly reverse-complemented) read.
+func (m *Mapper) alignPiece(oriented genome.Seq, start, end int, c cluster) (Segment, bool) {
+	cons := m.idx.cons
+	piece := oriented[start:end]
+	spread := c.maxDiag - c.minDiag
+	band := spread + m.cfg.BandPad
+	// The window spans the diagonals of the cluster, extended by the
+	// band on both sides.
+	winLo := c.minDiag + start - band
+	winHi := c.maxDiag + end + band
+	if winLo < 0 {
+		winLo = 0
+	}
+	if winHi > len(cons) {
+		winHi = len(cons)
+	}
+	if winHi-winLo < 1 {
+		return Segment{}, false
+	}
+	// fitAlign's band must cover the offset of the alignment start
+	// within the window plus indel drift.
+	fitBand := (c.minDiag + start - winLo) + spread + m.cfg.BandPad
+	consStart, edits, cost, err := fitAlign(piece, cons[winLo:winHi], fitBand)
+	if err != nil {
+		return Segment{}, false
+	}
+	return Segment{
+		ReadStart: start,
+		ReadLen:   end - start,
+		ConsPos:   winLo + consStart,
+		Rev:       c.rev,
+		Edits:     edits,
+		Cost:      cost,
+	}, true
+}
+
+// alignChimeric covers the read with up to MaxChimericSegments cluster
+// alignments. Cluster read intervals are taken greedily by seed count;
+// gaps between chosen intervals are attached to the adjacent segment.
+func (m *Mapper) alignChimeric(read, rc genome.Seq, clusters []cluster) ([]Segment, bool) {
+	type iv struct {
+		c      cluster
+		lo, hi int // read-interval in FORWARD read coordinates
+	}
+	n := len(read)
+	toFwd := func(c cluster) (int, int) {
+		lo, hi := c.minRead, c.maxRead+m.idx.k
+		if hi > n {
+			hi = n
+		}
+		if !c.rev {
+			return lo, hi
+		}
+		// Positions in the RC read map to mirrored forward positions.
+		return n - hi, n - lo
+	}
+	var chosen []iv
+	for _, c := range clusters {
+		if len(chosen) == MaxChimericSegments {
+			break
+		}
+		if c.span() < m.cfg.ChimeraMinSpan && len(chosen) > 0 {
+			continue
+		}
+		lo, hi := toFwd(c)
+		overlaps := false
+		for _, e := range chosen {
+			ovl := minInt(hi, e.hi) - maxInt(lo, e.lo)
+			if ovl > (hi-lo)/4 {
+				overlaps = true
+				break
+			}
+		}
+		if overlaps {
+			continue
+		}
+		chosen = append(chosen, iv{c: c, lo: lo, hi: hi})
+	}
+	if len(chosen) < 2 {
+		return nil, false
+	}
+	sort.Slice(chosen, func(a, b int) bool { return chosen[a].lo < chosen[b].lo })
+	// Expand intervals to partition [0, n): gaps split midway.
+	chosen[0].lo = 0
+	chosen[len(chosen)-1].hi = n
+	for i := 1; i < len(chosen); i++ {
+		mid := (chosen[i-1].hi + chosen[i].lo) / 2
+		if mid < chosen[i-1].lo+1 {
+			mid = chosen[i-1].lo + 1
+		}
+		chosen[i-1].hi = mid
+		chosen[i].lo = mid
+	}
+	var segs []Segment
+	totalCost := 0
+	for _, e := range chosen {
+		if e.hi <= e.lo {
+			return nil, false
+		}
+		// Convert the forward interval back to oriented coordinates.
+		oriented, start, end := read, e.lo, e.hi
+		if e.c.rev {
+			oriented, start, end = rc, n-e.hi, n-e.lo
+		}
+		seg, ok := m.alignPiece(oriented, start, end, e.c)
+		if !ok {
+			return nil, false
+		}
+		// Record the segment's placement in FORWARD read coordinates;
+		// Edits remain in oriented (segment-local) coordinates.
+		seg.ReadStart = e.lo
+		seg.ReadLen = e.hi - e.lo
+		totalCost += seg.Cost
+		segs = append(segs, seg)
+	}
+	if float64(totalCost) > m.cfg.MaxCostFrac*float64(n) {
+		return nil, false
+	}
+	return segs, true
+}
+
+// ReconstructRead rebuilds a full read from its alignment — segments are
+// reconstructed independently (reverse-complemented back when Rev) and
+// concatenated in read order. This is the software twin of the hardware
+// Read Construction Unit for multi-segment reads.
+func ReconstructRead(cons genome.Seq, a Alignment, readLen int) (genome.Seq, error) {
+	out := make(genome.Seq, 0, readLen)
+	for _, seg := range a.Segments {
+		piece, err := ReconstructSegment(cons, seg.ConsPos, seg.ReadLen, seg.Edits)
+		if err != nil {
+			return nil, err
+		}
+		if seg.Rev {
+			piece = piece.ReverseComplement()
+		}
+		out = append(out, piece...)
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

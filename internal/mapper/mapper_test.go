@@ -1,0 +1,374 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/genome"
+)
+
+func TestEncodeKmer(t *testing.T) {
+	code, ok := EncodeKmer(genome.MustFromString("ACGT"))
+	if !ok {
+		t.Fatal("ACGT should encode")
+	}
+	// A=00 C=01 G=10 T=11 -> 00011011
+	if code != 0b00011011 {
+		t.Fatalf("got %b", code)
+	}
+	if _, ok := EncodeKmer(genome.MustFromString("ACNT")); ok {
+		t.Fatal("k-mer with N must not encode")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	cons := genome.MustFromString("ACGTACGTACGT")
+	idx, err := NewIndex(cons, IndexConfig{K: 4, Step: 1, MaxOcc: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := EncodeKmer(genome.MustFromString("ACGT"))
+	hits := idx.Lookup(code)
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits want 3", len(hits))
+	}
+	if hits[0] != 0 || hits[1] != 4 || hits[2] != 8 {
+		t.Fatalf("got %v", hits)
+	}
+}
+
+func TestIndexMaxOcc(t *testing.T) {
+	cons := make(genome.Seq, 100) // poly-A
+	idx, err := NewIndex(cons, IndexConfig{K: 5, Step: 1, MaxOcc: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := EncodeKmer(cons[:5])
+	if idx.Lookup(code) != nil {
+		t.Fatal("over-frequent k-mer should be suppressed")
+	}
+}
+
+func TestIndexRejectsBadK(t *testing.T) {
+	if _, err := NewIndex(genome.MustFromString("ACGT"), IndexConfig{K: 40}); err == nil {
+		t.Fatal("expected error for k>31")
+	}
+	if _, err := NewIndex(genome.MustFromString("ACGT"), IndexConfig{K: 2}); err == nil {
+		t.Fatal("expected error for k<4")
+	}
+}
+
+func TestFitAlignExactMatch(t *testing.T) {
+	cons := genome.MustFromString("TTTTACGTACGTTTTT")
+	read := genome.MustFromString("ACGTACGT")
+	start, edits, cost, err := fitAlign(read, cons, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || len(edits) != 0 {
+		t.Fatalf("cost=%d edits=%v", cost, edits)
+	}
+	if start != 4 {
+		t.Fatalf("start=%d want 4", start)
+	}
+}
+
+func TestFitAlignSubstitution(t *testing.T) {
+	cons := genome.MustFromString("AAAACGTACGTAAAA")
+	read := genome.MustFromString("CGTTCGT") // one substitution vs CGTACGT
+	start, edits, cost, err := fitAlign(read, cons, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 || len(edits) != 1 {
+		t.Fatalf("cost=%d edits=%+v", cost, edits)
+	}
+	e := edits[0]
+	if e.Type != genome.Substitution || e.ReadPos != 3 || e.Bases[0] != genome.BaseT {
+		t.Fatalf("edit %+v", e)
+	}
+	got, err := ReconstructSegment(cons, start, len(read), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatalf("reconstructed %q want %q", got.String(), read.String())
+	}
+}
+
+func TestFitAlignIndelBlocks(t *testing.T) {
+	cons := genome.MustFromString("GGGGACGTACGTACGTGGGG")
+	// Read = cons[4:16] with "TT" inserted after 4 bases and 3 bases deleted later.
+	read := genome.MustFromString("ACGTTTACG" + "CGT") // ACGT +TT ACG [TAC deleted] CGT
+	start, edits, cost, err := fitAlign(read, cons, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost == 0 {
+		t.Fatal("expected nonzero cost")
+	}
+	got, err := ReconstructSegment(cons, start, len(read), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatalf("reconstructed %q want %q (edits %+v)", got.String(), read.String(), edits)
+	}
+	// Insertion runs must be merged into blocks.
+	for i := 1; i < len(edits); i++ {
+		if edits[i].Type == genome.Insertion && edits[i-1].Type == genome.Insertion &&
+			edits[i].ReadPos == edits[i-1].ReadPos+len(edits[i-1].Bases) {
+			t.Fatal("adjacent insertions were not merged into a block")
+		}
+	}
+}
+
+func TestFitAlignEmptyWindow(t *testing.T) {
+	if _, _, _, err := fitAlign(genome.MustFromString("ACGT"), nil, 4); err == nil {
+		t.Fatal("expected error for empty window")
+	}
+}
+
+// Property: fitAlign + ReconstructSegment is the identity on the read for
+// arbitrary mutated fragments, regardless of alignment quality.
+func TestQuickFitAlignRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cons := genome.Random(rng, 600)
+		// Take a fragment and mutate it heavily.
+		fl := 80 + rng.Intn(200)
+		start := rng.Intn(len(cons) - fl)
+		read := cons[start : start+fl].Clone()
+		for i := 0; i < len(read); i++ {
+			switch rng.Intn(12) {
+			case 0:
+				read[i] = byte(rng.Intn(4))
+			case 1:
+				read = append(read[:i], read[i+1:]...)
+			case 2:
+				read = append(read[:i+1], read[i:]...)
+				read[i] = byte(rng.Intn(4))
+				i++
+			}
+		}
+		if len(read) == 0 {
+			return true
+		}
+		winLo := start - 40
+		if winLo < 0 {
+			winLo = 0
+		}
+		winHi := start + fl + 40
+		if winHi > len(cons) {
+			winHi = len(cons)
+		}
+		cs, edits, _, err := fitAlign(read, cons[winLo:winHi], 80)
+		if err != nil {
+			return false
+		}
+		got, err := ReconstructSegment(cons[winLo:winHi], cs, len(read), edits)
+		return err == nil && got.Equal(read)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildMapper(t *testing.T, cons genome.Seq) *Mapper {
+	t.Helper()
+	m, err := New(cons, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapExactRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cons := genome.Random(rng, 20000)
+	m := buildMapper(t, cons)
+	read := cons[5000:5150].Clone()
+	a := m.Map(read)
+	if !a.Mapped || len(a.Segments) != 1 {
+		t.Fatalf("alignment %+v", a)
+	}
+	seg := a.Segments[0]
+	if seg.Rev || seg.ConsPos != 5000 || seg.Cost != 0 {
+		t.Fatalf("segment %+v", seg)
+	}
+	got, err := ReconstructRead(cons, a, len(read))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestMapReverseComplementRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cons := genome.Random(rng, 20000)
+	m := buildMapper(t, cons)
+	read := cons[7000:7150].ReverseComplement()
+	a := m.Map(read)
+	if !a.Mapped || len(a.Segments) != 1 || !a.Segments[0].Rev {
+		t.Fatalf("alignment %+v", a)
+	}
+	got, err := ReconstructRead(cons, a, len(read))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestMapMutatedRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cons := genome.Random(rng, 30000)
+	m := buildMapper(t, cons)
+	read := cons[9000:9200].Clone()
+	read[50] = (read[50] + 1) % 4
+	read[51] = (read[51] + 2) % 4
+	read = append(read[:120], read[123:]...) // 3-base deletion
+	a := m.Map(read)
+	if !a.Mapped {
+		t.Fatal("read should map")
+	}
+	if a.NumMismatches() == 0 {
+		t.Fatal("expected mismatches")
+	}
+	got, err := ReconstructRead(cons, a, len(read))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestMapChimericRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cons := genome.Random(rng, 50000)
+	m := buildMapper(t, cons)
+	// Join two distant regions (Fig. 9).
+	read := append(cons[3000:3400].Clone(), cons[40000:40400].Clone()...)
+	a := m.Map(read)
+	if !a.Mapped {
+		t.Fatal("chimeric read should map")
+	}
+	if len(a.Segments) < 2 {
+		t.Fatalf("expected >=2 segments, got %d (cost dominated alignment?)", len(a.Segments))
+	}
+	got, err := ReconstructRead(cons, a, len(read))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(read) {
+		t.Fatal("reconstruction mismatch")
+	}
+}
+
+func TestMapUnmappableRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	cons := genome.Random(rng, 20000)
+	m := buildMapper(t, cons)
+	// A random read is overwhelmingly unlikely to share 15-mers with cons.
+	read := genome.Random(rand.New(rand.NewSource(999)), 150)
+	a := m.Map(read)
+	if a.Mapped {
+		// If it mapped, reconstruction must still hold (the invariant
+		// that matters for losslessness).
+		got, err := ReconstructRead(cons, a, len(read))
+		if err != nil || !got.Equal(read) {
+			t.Fatal("mapped random read failed reconstruction")
+		}
+	}
+}
+
+func TestMapTooShortRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	cons := genome.Random(rng, 2000)
+	m := buildMapper(t, cons)
+	if a := m.Map(cons[10:14].Clone()); a.Mapped {
+		t.Fatal("reads shorter than k must be unmapped")
+	}
+}
+
+// Property: whatever the mapper returns, reconstruction is lossless.
+func TestQuickMapReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cons := genome.Random(rng, 40000)
+	m := buildMapper(t, cons)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 100 + r.Intn(400)
+		start := r.Intn(len(cons) - l)
+		read := cons[start : start+l].Clone()
+		// Random mutations, sometimes heavy.
+		mutRate := []float64{0.001, 0.01, 0.05}[r.Intn(3)]
+		for i := 0; i < len(read); i++ {
+			if r.Float64() < mutRate {
+				switch r.Intn(3) {
+				case 0:
+					read[i] = byte(r.Intn(4))
+				case 1:
+					if len(read) > 1 {
+						read = append(read[:i], read[i+1:]...)
+					}
+				case 2:
+					read = append(read[:i+1], read[i:]...)
+					read[i] = byte(r.Intn(4))
+				}
+			}
+		}
+		if r.Intn(2) == 0 {
+			read = read.ReverseComplement()
+		}
+		a := m.Map(read)
+		if !a.Mapped {
+			return true // unmapped is always safe
+		}
+		got, err := ReconstructRead(cons, a, len(read))
+		return err == nil && got.Equal(read)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsPartitionRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	cons := genome.Random(rng, 60000)
+	m := buildMapper(t, cons)
+	read := append(cons[1000:1500].Clone(), cons[30000:30500].ReverseComplement()...)
+	a := m.Map(read)
+	if !a.Mapped {
+		t.Skip("chimera did not map under default config")
+	}
+	covered := 0
+	next := 0
+	for _, s := range a.Segments {
+		if s.ReadStart != next {
+			t.Fatalf("segment starts at %d, expected %d", s.ReadStart, next)
+		}
+		covered += s.ReadLen
+		next = s.ReadStart + s.ReadLen
+	}
+	if covered != len(read) {
+		t.Fatalf("segments cover %d of %d bases", covered, len(read))
+	}
+}
+
+func TestEditLen(t *testing.T) {
+	if (Edit{Type: genome.Substitution, Bases: genome.Seq{0}}).Len() != 1 {
+		t.Fatal("sub len")
+	}
+	if (Edit{Type: genome.Insertion, Bases: genome.Seq{0, 1, 2}}).Len() != 3 {
+		t.Fatal("ins len")
+	}
+	if (Edit{Type: genome.Deletion, DelLen: 5}).Len() != 5 {
+		t.Fatal("del len")
+	}
+}

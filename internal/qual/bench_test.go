@@ -1,0 +1,63 @@
+package qual
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchQuals() ([][]byte, []int) {
+	rng := rand.New(rand.NewSource(9))
+	quals := make([][]byte, 500)
+	lengths := make([]int, len(quals))
+	for i := range quals {
+		q := make([]byte, 150)
+		level := 36.0
+		for j := range q {
+			level += rng.NormFloat64() * 1.5
+			if level < 2 {
+				level = 2
+			}
+			if level > 41 {
+				level = 41
+			}
+			q[j] = byte(level)
+		}
+		quals[i] = q
+		lengths[i] = len(q)
+	}
+	return quals, lengths
+}
+
+func BenchmarkQualCompress(b *testing.B) {
+	quals, _ := benchQuals()
+	total := 0
+	for _, q := range quals {
+		total += len(q)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(quals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQualDecompress(b *testing.B) {
+	quals, lengths := benchQuals()
+	data, err := Compress(quals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, q := range quals {
+		total += len(q)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(data, lengths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

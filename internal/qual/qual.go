@@ -1,0 +1,103 @@
+package qual
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sage/internal/fastq"
+)
+
+// symbolBits is the bit width of one Phred score (alphabet 0..63).
+const symbolBits = 6
+
+// Context model dimensions: the previous score quantized to 16 buckets,
+// the score before that to 8 buckets, crossed with the 63 internal nodes
+// of the 6-level binary decomposition tree.
+const (
+	prev1Buckets = 16
+	prev2Buckets = 8
+	treeNodes    = 1 << symbolBits // node indices 1..63 used
+	numContexts  = prev1Buckets * prev2Buckets * treeNodes
+)
+
+func contextBase(q1, q2 byte) int {
+	b1 := int(q1) >> 2 // 0..15
+	if b1 >= prev1Buckets {
+		b1 = prev1Buckets - 1
+	}
+	b2 := int(q2) >> 3 // 0..7
+	if b2 >= prev2Buckets {
+		b2 = prev2Buckets - 1
+	}
+	return (b1*prev2Buckets + b2) * treeNodes
+}
+
+func newProbs() []uint16 {
+	p := make([]uint16, numContexts)
+	for i := range p {
+		p[i] = probInit
+	}
+	return p
+}
+
+// Compress encodes the concatenated quality strings of reads losslessly.
+// Per-read lengths are NOT stored: the decoder receives them from the DNA
+// side of the container, which keeps the stream aligned with the bases
+// (§5.1.5: "SAGe maintains the same order for DNA bases and quality
+// scores").
+func Compress(quals [][]byte) ([]byte, error) {
+	enc := newRCEncoder()
+	probs := newProbs()
+	for _, q := range quals {
+		q1, q2 := byte(0), byte(0)
+		for _, s := range q {
+			if s > fastq.MaxQuality {
+				return nil, fmt.Errorf("qual: score %d exceeds alphabet max %d", s, fastq.MaxQuality)
+			}
+			base := contextBase(q1, q2)
+			node := 1
+			for i := symbolBits - 1; i >= 0; i-- {
+				bit := int(s>>uint(i)) & 1
+				enc.encodeBit(&probs[base+node], bit)
+				node = node<<1 | bit
+			}
+			q2, q1 = q1, s
+		}
+	}
+	body := enc.flush()
+	out := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint64(out, uint64(len(body)))
+	copy(out[8:], body)
+	return out, nil
+}
+
+// Decompress decodes scores for reads with the given lengths.
+func Decompress(data []byte, lengths []int) ([][]byte, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("qual: truncated stream header")
+	}
+	bodyLen := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)-8) < bodyLen {
+		return nil, fmt.Errorf("qual: stream body truncated: have %d want %d", len(data)-8, bodyLen)
+	}
+	dec := newRCDecoder(data[8 : 8+bodyLen])
+	probs := newProbs()
+	out := make([][]byte, len(lengths))
+	for r, l := range lengths {
+		q := make([]byte, l)
+		q1, q2 := byte(0), byte(0)
+		for i := 0; i < l; i++ {
+			base := contextBase(q1, q2)
+			node := 1
+			for b := 0; b < symbolBits; b++ {
+				bit := dec.decodeBit(&probs[base+node])
+				node = node<<1 | bit
+			}
+			s := byte(node - treeNodes)
+			q[i] = s
+			q2, q1 = q1, s
+		}
+		out[r] = q
+	}
+	return out, nil
+}

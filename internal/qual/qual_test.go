@@ -1,0 +1,191 @@
+package qual
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/fastq"
+)
+
+func TestRoundtripSimple(t *testing.T) {
+	quals := [][]byte{
+		{30, 30, 30, 12, 40},
+		{0, 1, 2, 3},
+		{},
+		{63},
+	}
+	data, err := Compress(quals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{5, 4, 0, 1}
+	got, err := Decompress(data, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range quals {
+		if len(got[i]) != len(quals[i]) {
+			t.Fatalf("read %d: len %d want %d", i, len(got[i]), len(quals[i]))
+		}
+		for j := range quals[i] {
+			if got[i][j] != quals[i][j] {
+				t.Fatalf("read %d pos %d: %d want %d", i, j, got[i][j], quals[i][j])
+			}
+		}
+	}
+}
+
+func TestRejectsOutOfRange(t *testing.T) {
+	if _, err := Compress([][]byte{{fastq.MaxQuality + 1}}); err == nil {
+		t.Fatal("expected error for out-of-range score")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2, 3}, []int{1}); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+	data, err := Compress([][]byte{{10, 20, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(data[:len(data)-1], nil); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestCompressesCorrelatedScores(t *testing.T) {
+	// Realistic qualities (correlated, narrow distribution) must
+	// compress well below raw size; that is the whole point of the
+	// context model.
+	rng := rand.New(rand.NewSource(1))
+	var quals [][]byte
+	total := 0
+	for r := 0; r < 200; r++ {
+		q := make([]byte, 150)
+		level := 36.0
+		for i := range q {
+			level += rng.NormFloat64() * 1.5
+			if level < 2 {
+				level = 2
+			}
+			if level > 41 {
+				level = 41
+			}
+			q[i] = byte(level)
+		}
+		quals = append(quals, q)
+		total += len(q)
+	}
+	data, err := Compress(quals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(total) / float64(len(data))
+	if ratio < 1.8 {
+		t.Fatalf("compression ratio %.2f too low for correlated scores", ratio)
+	}
+	lengths := make([]int, len(quals))
+	for i := range quals {
+		lengths[i] = len(quals[i])
+	}
+	got, err := Decompress(data, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range quals {
+		for j := range quals[i] {
+			if got[i][j] != quals[i][j] {
+				t.Fatal("roundtrip mismatch")
+			}
+		}
+	}
+}
+
+func TestConstantScoresCompressExtremely(t *testing.T) {
+	q := make([]byte, 10000)
+	for i := range q {
+		q[i] = 40
+	}
+	data, err := Compress([][]byte{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 400 {
+		t.Fatalf("constant stream compressed to %d bytes; expected <400", len(data))
+	}
+}
+
+// Property: arbitrary score sequences roundtrip.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		quals := make([][]byte, n)
+		lengths := make([]int, n)
+		for i := range quals {
+			l := rng.Intn(300)
+			q := make([]byte, l)
+			for j := range q {
+				q[j] = byte(rng.Intn(fastq.MaxQuality + 1))
+			}
+			quals[i] = q
+			lengths[i] = l
+		}
+		data, err := Compress(quals)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(data, lengths)
+		if err != nil {
+			return false
+		}
+		for i := range quals {
+			if len(got[i]) != len(quals[i]) {
+				return false
+			}
+			for j := range quals[i] {
+				if got[i][j] != quals[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The range coder itself must roundtrip raw bit sequences under shared
+// adapting probabilities.
+func TestRangeCoderBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]int, 5000)
+	for i := range bits {
+		// Skewed source to exercise adaptation.
+		if rng.Float64() < 0.8 {
+			bits[i] = 0
+		} else {
+			bits[i] = 1
+		}
+	}
+	enc := newRCEncoder()
+	p := uint16(probInit)
+	for _, b := range bits {
+		enc.encodeBit(&p, b)
+	}
+	data := enc.flush()
+	// Skewed bits should compress: 5000 bits = 625 bytes raw.
+	if len(data) > 550 {
+		t.Fatalf("range coder output %d bytes; expected < 550 for skewed source", len(data))
+	}
+	dec := newRCDecoder(data)
+	p = probInit
+	for i, want := range bits {
+		if got := dec.decodeBit(&p); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}

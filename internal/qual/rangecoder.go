@@ -1,0 +1,122 @@
+// Package qual implements SAGe's lossless quality-score codec (§5.1.5).
+//
+// Quality scores lack the long-range redundancy of DNA bases, so SAGe —
+// like Spring and the other genomic compressors it cites — compresses them
+// as a separate stream with a context model: each Phred score is coded
+// bit-by-bit with an adaptive binary range coder, conditioned on the two
+// preceding scores in the read. Decompression runs on the host CPU in the
+// paper; the codec here backs both the SAGe container and the Spring-like
+// baseline, so their quality ratios match (Table 2: "SAGe's quality score
+// (de)compression is based on the same software used in [Spring]").
+package qual
+
+// The binary range coder follows the carry-propagating construction used
+// by LZMA: 32-bit range, 12-bit adaptive probabilities, 5-bit adaptation
+// shift.
+
+const (
+	probBits  = 12
+	probInit  = 1 << (probBits - 1)
+	adaptRate = 5
+	topValue  = 1 << 24
+)
+
+type rcEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRCEncoder() *rcEncoder {
+	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+// encodeBit codes bit under the adaptive probability *p (probability of
+// the bit being 0, in 1/4096 units) and updates *p.
+func (e *rcEncoder) encodeBit(p *uint16, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> adaptRate
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> adaptRate
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+func (e *rcEncoder) shiftLow() {
+	if e.low < 0xFF000000 || e.low > 0xFFFFFFFF {
+		temp := e.cache
+		for {
+			e.out = append(e.out, byte(uint64(temp)+(e.low>>32)))
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+func (e *rcEncoder) flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rcDecoder struct {
+	rng  uint32
+	code uint32
+	in   []byte
+	pos  int
+}
+
+func newRCDecoder(in []byte) *rcDecoder {
+	d := &rcDecoder{rng: 0xFFFFFFFF, in: in}
+	// The first output byte of the encoder is always 0 (cache priming);
+	// consume it plus 4 code bytes.
+	for i := 0; i < 5; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rcDecoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	return 0
+}
+
+func (d *rcDecoder) decodeBit(p *uint16) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> adaptRate
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> adaptRate
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	return bit
+}

@@ -1,0 +1,340 @@
+// Package simulate generates synthetic sequencing read sets with the
+// statistical properties SAGe's compression algorithm exploits.
+//
+// The paper (§5.1) identifies six properties of real read sets:
+//
+//	P1: delta-encoded mismatch positions need few bits, because genetic
+//	    variation clusters and sequencing quality degrades regionally.
+//	P2: most short reads have zero or few mismatches (low error rates).
+//	P3: most indel blocks are single-base, but longer blocks hold most
+//	    indel bases.
+//	P4: a large fraction of long-read mismatches come from chimeric reads
+//	    whose parts map to different consensus regions.
+//	P5: substitutions dominate short-read errors.
+//	P6: deep sampling means consecutive (position-sorted) reads map close
+//	    together, so delta-encoded matching positions are small.
+//
+// The two simulators below reproduce these distributions; the Fig. 7 and
+// Fig. 10 experiments re-measure them from the simulated data.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+)
+
+// ShortReadProfile parameterizes an Illumina-like simulator: fixed-length,
+// high-accuracy, substitution-dominated reads (§2.1: 75–300 bp, ~99.9%).
+type ShortReadProfile struct {
+	ReadLen int
+	// SubRate, InsRate, DelRate are per-base error probabilities.
+	// Substitutions dominate (P5).
+	SubRate, InsRate, DelRate float64
+	// NRate is the per-base probability of an unidentified base (corner
+	// case, §5.1.4).
+	NRate float64
+	// QualMean/QualSpread parameterize the Phred quality model.
+	QualMean, QualSpread float64
+}
+
+// DefaultShortProfile mirrors a modern Illumina instrument.
+func DefaultShortProfile() ShortReadProfile {
+	return ShortReadProfile{
+		ReadLen: 150,
+		SubRate: 0.001, InsRate: 0.00002, DelRate: 0.00002,
+		NRate:    0.0002,
+		QualMean: 36, QualSpread: 4,
+	}
+}
+
+// LongReadProfile parameterizes a nanopore-like simulator: variable-length
+// reads with ~1% errors, indel blocks, chimeric joins, clips, and regional
+// quality degradation.
+type LongReadProfile struct {
+	// MeanLen and MaxLen shape the log-normal read-length distribution
+	// (typical 500–25k, §2.1).
+	MeanLen, MaxLen int
+	// ErrRate is the total per-base error probability; ErrSubFrac of it
+	// is substitutions, the rest split between insertions and deletions.
+	ErrRate, ErrSubFrac float64
+	// MaxIndelBlock bounds indel-block length; block lengths are
+	// geometric with ~70% single-base (P3).
+	MaxIndelBlock int
+	// ChimeraRate is the fraction of reads formed by joining segments
+	// from different genome regions (P4).
+	ChimeraRate float64
+	// ClipRate is the fraction of reads with a soft-clip (random
+	// non-genomic prefix/suffix, corner case §5.1.4); ClipMaxLen bounds
+	// clip length.
+	ClipRate   float64
+	ClipMaxLen int
+	// DegradeRate is the per-read probability of a regional quality
+	// degradation window with elevated error (P1).
+	DegradeRate float64
+	// NRate is the per-base N probability.
+	NRate float64
+	// QualMean/QualSpread parameterize the quality model.
+	QualMean, QualSpread float64
+}
+
+// DefaultLongProfile mirrors a modern nanopore instrument (R10-class).
+func DefaultLongProfile() LongReadProfile {
+	return LongReadProfile{
+		MeanLen: 8000, MaxLen: 25000,
+		ErrRate: 0.01, ErrSubFrac: 0.4,
+		MaxIndelBlock: 24,
+		ChimeraRate:   0.03,
+		ClipRate:      0.05, ClipMaxLen: 300,
+		DegradeRate: 0.10,
+		NRate:       0.0001,
+		QualMean:    20, QualSpread: 6,
+	}
+}
+
+// Simulator draws reads from a donor genome.
+type Simulator struct {
+	rng   *rand.Rand
+	donor genome.Seq
+}
+
+// New returns a simulator drawing reads from donor using rng.
+func New(rng *rand.Rand, donor genome.Seq) *Simulator {
+	return &Simulator{rng: rng, donor: donor}
+}
+
+// ShortReads generates n short reads under profile p.
+func (s *Simulator) ShortReads(n int, p ShortReadProfile) (*fastq.ReadSet, error) {
+	if p.ReadLen <= 0 || p.ReadLen > len(s.donor) {
+		return nil, fmt.Errorf("simulate: read length %d invalid for donor of %d bases", p.ReadLen, len(s.donor))
+	}
+	rs := &fastq.ReadSet{Records: make([]fastq.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		start := s.rng.Intn(len(s.donor) - p.ReadLen + 1)
+		frag := s.donor[start : start+p.ReadLen].Clone()
+		if s.rng.Intn(2) == 1 {
+			frag = frag.ReverseComplement()
+		}
+		seq, qual := s.applyShortErrors(frag, p)
+		rs.Records = append(rs.Records, fastq.Record{
+			Header: fmt.Sprintf("sim.s.%d pos=%d", i, start),
+			Seq:    seq,
+			Qual:   qual,
+		})
+	}
+	return rs, nil
+}
+
+func (s *Simulator) applyShortErrors(frag genome.Seq, p ShortReadProfile) (genome.Seq, []byte) {
+	out := make(genome.Seq, 0, len(frag)+4)
+	for _, b := range frag {
+		r := s.rng.Float64()
+		switch {
+		case r < p.DelRate:
+			continue // base dropped
+		case r < p.DelRate+p.InsRate:
+			out = append(out, byte(s.rng.Intn(4)))
+			out = append(out, b)
+		case r < p.DelRate+p.InsRate+p.SubRate:
+			out = append(out, substitute(s.rng, b))
+		case r < p.DelRate+p.InsRate+p.SubRate+p.NRate:
+			out = append(out, genome.BaseN)
+		default:
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, frag[0])
+	}
+	qual := make([]byte, len(out))
+	for i := range qual {
+		qual[i] = clampQual(p.QualMean + p.QualSpread*s.rng.NormFloat64())
+		if out[i] == genome.BaseN {
+			qual[i] = 2 // instruments emit low quality at N calls
+		}
+	}
+	return out, qual
+}
+
+// LongReads generates n long reads under profile p.
+func (s *Simulator) LongReads(n int, p LongReadProfile) (*fastq.ReadSet, error) {
+	if p.MeanLen <= 0 {
+		return nil, fmt.Errorf("simulate: mean length must be positive")
+	}
+	rs := &fastq.ReadSet{Records: make([]fastq.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		frag := s.sampleLongFragment(p)
+		seq, qual := s.applyLongErrors(frag, p)
+		if s.rng.Float64() < p.ClipRate && p.ClipMaxLen > 0 {
+			seq, qual = s.addClip(seq, qual, p)
+		}
+		rs.Records = append(rs.Records, fastq.Record{
+			Header: fmt.Sprintf("sim.l.%d", i),
+			Seq:    seq,
+			Qual:   qual,
+		})
+	}
+	return rs, nil
+}
+
+// sampleLongFragment draws a genomic fragment, possibly chimeric (P4):
+// with probability ChimeraRate the read joins 2–3 segments sampled from
+// unrelated genome regions, so its parts map to different consensus
+// positions (§5.1.2, Fig. 9).
+func (s *Simulator) sampleLongFragment(p LongReadProfile) genome.Seq {
+	total := s.sampleLen(p)
+	nSeg := 1
+	if s.rng.Float64() < p.ChimeraRate {
+		nSeg = 2 + s.rng.Intn(2)
+	}
+	out := make(genome.Seq, 0, total)
+	for seg := 0; seg < nSeg; seg++ {
+		segLen := total / nSeg
+		if segLen < 50 {
+			segLen = 50
+		}
+		if segLen > len(s.donor) {
+			segLen = len(s.donor)
+		}
+		start := s.rng.Intn(len(s.donor) - segLen + 1)
+		piece := s.donor[start : start+segLen].Clone()
+		if s.rng.Intn(2) == 1 {
+			piece = piece.ReverseComplement()
+		}
+		out = append(out, piece...)
+	}
+	return out
+}
+
+// sampleLen draws a log-normal-ish read length centered on MeanLen.
+func (s *Simulator) sampleLen(p LongReadProfile) int {
+	mu := math.Log(float64(p.MeanLen))
+	l := int(math.Exp(mu + 0.45*s.rng.NormFloat64()))
+	if l < 500 {
+		l = 500
+	}
+	if p.MaxLen > 0 && l > p.MaxLen {
+		l = p.MaxLen
+	}
+	if l > len(s.donor) {
+		l = len(s.donor)
+	}
+	return l
+}
+
+// applyLongErrors injects errors with regional degradation windows (P1)
+// and geometric indel blocks (P3).
+func (s *Simulator) applyLongErrors(frag genome.Seq, p LongReadProfile) (genome.Seq, []byte) {
+	// Pick an optional degradation window with ~4x the error rate.
+	degStart, degEnd := -1, -1
+	if s.rng.Float64() < p.DegradeRate && len(frag) > 200 {
+		w := len(frag) / 8
+		degStart = s.rng.Intn(len(frag) - w)
+		degEnd = degStart + w
+	}
+	out := make(genome.Seq, 0, len(frag)+len(frag)/50)
+	qual := make([]byte, 0, cap(out))
+	pushQ := func(base byte, degraded bool) byte {
+		q := p.QualMean + p.QualSpread*s.rng.NormFloat64()
+		if degraded {
+			q -= 8
+		}
+		if base == genome.BaseN {
+			q = 2
+		}
+		return clampQual(q)
+	}
+	for i := 0; i < len(frag); i++ {
+		degraded := i >= degStart && i < degEnd
+		rate := p.ErrRate
+		if degraded {
+			rate *= 4
+		}
+		r := s.rng.Float64()
+		subP := rate * p.ErrSubFrac
+		insP := rate * (1 - p.ErrSubFrac) / 2
+		delP := insP
+		switch {
+		case r < subP:
+			b := substitute(s.rng, frag[i])
+			out = append(out, b)
+			qual = append(qual, pushQ(b, degraded))
+		case r < subP+insP:
+			blockLen := geomBlock(s.rng, p.MaxIndelBlock)
+			for k := 0; k < blockLen; k++ {
+				b := byte(s.rng.Intn(4))
+				out = append(out, b)
+				qual = append(qual, pushQ(b, degraded))
+			}
+			out = append(out, frag[i])
+			qual = append(qual, pushQ(frag[i], degraded))
+		case r < subP+insP+delP:
+			blockLen := geomBlock(s.rng, p.MaxIndelBlock)
+			i += blockLen - 1 // skip deleted bases
+		case r < subP+insP+delP+p.NRate:
+			out = append(out, genome.BaseN)
+			qual = append(qual, pushQ(genome.BaseN, degraded))
+		default:
+			out = append(out, frag[i])
+			qual = append(qual, pushQ(frag[i], degraded))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, frag[0])
+		qual = append(qual, pushQ(frag[0], false))
+	}
+	return out, qual
+}
+
+// addClip prepends or appends a random non-genomic run (adapter remnant /
+// low-quality tail), the clip corner case of §5.1.4.
+func (s *Simulator) addClip(seq genome.Seq, qual []byte, p LongReadProfile) (genome.Seq, []byte) {
+	l := 20 + s.rng.Intn(p.ClipMaxLen)
+	clip := genome.Random(s.rng, l)
+	cq := make([]byte, l)
+	for i := range cq {
+		cq[i] = clampQual(8 + 3*s.rng.NormFloat64())
+	}
+	if s.rng.Intn(2) == 0 {
+		return append(clip, seq...), append(cq, qual...)
+	}
+	return append(seq, clip...), append(qual, cq...)
+}
+
+func substitute(rng *rand.Rand, b byte) byte {
+	if b > genome.BaseT { // N stays N under substitution
+		return b
+	}
+	nb := byte(rng.Intn(3))
+	if nb >= b {
+		nb++
+	}
+	return nb
+}
+
+// geomBlock draws an indel-block length: geometric with most mass at 1
+// but a tail heavy enough that multi-base blocks carry the majority of
+// indel bases, matching Fig. 7(c)/(d).
+func geomBlock(rng *rand.Rand, maxLen int) int {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	l := 1
+	for l < maxLen && rng.Float64() < 0.45 {
+		l++
+	}
+	return l
+}
+
+func clampQual(q float64) byte {
+	if q < 0 {
+		return 0
+	}
+	if q > fastq.MaxQuality {
+		return fastq.MaxQuality
+	}
+	return byte(q)
+}

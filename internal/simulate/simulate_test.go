@@ -1,0 +1,218 @@
+package simulate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+)
+
+func newSim(t *testing.T, genomeLen int, seed int64) *Simulator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	donor := genome.Random(rng, genomeLen)
+	return New(rng, donor)
+}
+
+func TestShortReadsBasicShape(t *testing.T) {
+	s := newSim(t, 100000, 1)
+	p := DefaultShortProfile()
+	rs, err := s.ShortReads(500, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 500 {
+		t.Fatalf("got %d reads", len(rs.Records))
+	}
+	for i := range rs.Records {
+		r := &rs.Records[i]
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Short reads have near-fixed length: indel rates are tiny.
+		if len(r.Seq) < p.ReadLen-5 || len(r.Seq) > p.ReadLen+5 {
+			t.Fatalf("read %d length %d far from %d", i, len(r.Seq), p.ReadLen)
+		}
+	}
+}
+
+func TestShortReadsErrorRate(t *testing.T) {
+	s := newSim(t, 200000, 2)
+	p := DefaultShortProfile()
+	rs, err := s.ShortReads(2000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count reads identical to some donor window (no errors). With
+	// ~0.1%/base error and L=150, P(error-free) ≈ 0.86; most reads
+	// should be exact (Property 2).
+	// Cheap proxy: count N bases and length deviations.
+	nBases, nN := 0, 0
+	for i := range rs.Records {
+		for _, b := range rs.Records[i].Seq {
+			nBases++
+			if b == genome.BaseN {
+				nN++
+			}
+		}
+	}
+	nRate := float64(nN) / float64(nBases)
+	if nRate > p.NRate*5 {
+		t.Fatalf("N rate %.5f too high vs configured %.5f", nRate, p.NRate)
+	}
+}
+
+func TestShortReadsRejectsBadLength(t *testing.T) {
+	s := newSim(t, 100, 3)
+	p := DefaultShortProfile() // ReadLen 150 > donor 100
+	if _, err := s.ShortReads(1, p); err == nil {
+		t.Fatal("expected error for read longer than donor")
+	}
+}
+
+func TestLongReadsLengthDistribution(t *testing.T) {
+	s := newSim(t, 400000, 4)
+	p := DefaultLongProfile()
+	rs, err := s.LongReads(300, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minL, maxL, sum int
+	minL = 1 << 30
+	for i := range rs.Records {
+		l := len(rs.Records[i].Seq)
+		sum += l
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+		if err := rs.Records[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean := sum / len(rs.Records)
+	if mean < p.MeanLen/3 || mean > p.MeanLen*3 {
+		t.Fatalf("mean length %d far from %d", mean, p.MeanLen)
+	}
+	if maxL > p.MaxLen+p.ClipMaxLen+100 {
+		t.Fatalf("max length %d exceeds cap", maxL)
+	}
+	if minL < 400 {
+		t.Fatalf("min length %d below floor", minL)
+	}
+	if minL == maxL {
+		t.Fatal("long reads must have variable lengths")
+	}
+}
+
+func TestLongReadsQualityLowerThanShort(t *testing.T) {
+	s := newSim(t, 300000, 5)
+	long, err := s.LongReads(50, DefaultLongProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := s.ShortReads(200, DefaultShortProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	longQ := qualMean(long.Records)
+	shortQ := qualMean(short.Records)
+	if longQ >= shortQ {
+		t.Fatalf("long-read quality %.1f should be below short-read %.1f", longQ, shortQ)
+	}
+}
+
+func qualMean(recs []fastq.Record) float64 {
+	sum, n := 0.0, 0
+	for i := range recs {
+		for _, q := range recs[i].Qual {
+			sum += float64(q)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestChimeraRateZeroProducesContiguousFragments(t *testing.T) {
+	s := newSim(t, 100000, 6)
+	p := DefaultLongProfile()
+	p.ChimeraRate = 0
+	p.ClipRate = 0
+	p.ErrRate = 0
+	p.NRate = 0
+	rs, err := s.LongReads(20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no errors, no chimeras, no clips, every read must be an exact
+	// substring of the donor or its reverse complement.
+	donorStr := s.donor.String()
+	donorRC := s.donor.ReverseComplement().String()
+	for i := range rs.Records {
+		str := rs.Records[i].Seq.String()
+		if !containsSub(donorStr, str) && !containsSub(donorRC, str) {
+			t.Fatalf("read %d is not a contiguous donor fragment", i)
+		}
+	}
+}
+
+func containsSub(hay, needle string) bool {
+	return len(needle) <= len(hay) && strings.Contains(hay, needle)
+}
+
+func TestGeomBlockSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	single, total := 0, 30000
+	var sumLen int
+	for i := 0; i < total; i++ {
+		l := geomBlock(rng, 24)
+		sumLen += l
+		if l == 1 {
+			single++
+		}
+	}
+	frac := float64(single) / float64(total)
+	// Property 3: most indel blocks are length one...
+	if frac < 0.5 || frac > 0.65 {
+		t.Fatalf("single-base block fraction %.2f outside [0.5,0.65]", frac)
+	}
+	// ...but multi-base blocks carry most of the bases.
+	multiBases := sumLen - single
+	if float64(multiBases)/float64(sumLen) < 0.5 {
+		t.Fatalf("multi-base blocks carry only %.2f of bases", float64(multiBases)/float64(sumLen))
+	}
+}
+
+func TestClampQual(t *testing.T) {
+	if clampQual(-5) != 0 {
+		t.Fatal("negative quality must clamp to 0")
+	}
+	if clampQual(1000) != fastq.MaxQuality {
+		t.Fatal("large quality must clamp to MaxQuality")
+	}
+	if clampQual(20) != 20 {
+		t.Fatal("in-range quality must pass through")
+	}
+}
+
+func TestSubstituteChangesBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for b := byte(0); b <= genome.BaseT; b++ {
+		for i := 0; i < 100; i++ {
+			nb := substitute(rng, b)
+			if nb == b || nb > genome.BaseT {
+				t.Fatalf("substitute(%d) produced %d", b, nb)
+			}
+		}
+	}
+	if substitute(rng, genome.BaseN) != genome.BaseN {
+		t.Fatal("N must remain N")
+	}
+}

@@ -1,0 +1,41 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkWriteGenomic(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.WriteGenomic("x", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadGenomicInternal(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(2)).Read(data)
+	s, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.WriteGenomic("x", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ReadGenomicInternal("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package ssd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geometry.BlocksPerPlane = 8
+	cfg.Geometry.PagesPerBlock = 16
+	cfg.Geometry.PageSize = 1 << 10
+	return cfg
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 50000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := s.WriteGenomic("rs1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, d, err := s.ReadFile("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	if d <= 0 {
+		t.Fatal("read time must be positive")
+	}
+}
+
+func TestConventionalWriteRead(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("plain file data, not genomic")
+	if _, err := s.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch")
+	}
+	if _, _, err := s.ReadGenomicInternal("f"); err == nil {
+		t.Fatal("conventional files must not be readable via SAGe_Read")
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteGenomic("x", []byte("version one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteGenomic("x", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.ReadFile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteGenomic("x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadFile("x"); err == nil {
+		t.Fatal("deleted file must not be readable")
+	}
+	if err := s.Delete("x"); err == nil {
+		t.Fatal("double delete must error")
+	}
+}
+
+func TestGenomicLayoutStripesChannels(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write enough pages to cover all channels.
+	nPages := cfg.Geometry.Channels * 4
+	data := make([]byte, nPages*cfg.Geometry.PageSize)
+	if _, err := s.WriteGenomic("g", data); err != nil {
+		t.Fatal(err)
+	}
+	// Every channel's genomic head must have the same page offset
+	// (multi-plane alignment invariant, §5.3).
+	offsets := map[int]bool{}
+	for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+		b := s.genomicHead[ch]
+		if b < 0 {
+			t.Fatalf("channel %d has no genomic head", ch)
+		}
+		offsets[s.blocks[b].written] = true
+		if !s.blocks[b].genomic {
+			t.Fatalf("channel %d head not marked genomic", ch)
+		}
+	}
+	if len(offsets) != 1 {
+		t.Fatalf("page offsets diverge across channels: %v", offsets)
+	}
+}
+
+func TestGCReclaimsAndPreservesData(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill a large fraction of the device, then overwrite repeatedly to
+	// force GC.
+	rng := rand.New(rand.NewSource(2))
+	size := int(cfg.Geometry.TotalBytes() / 4)
+	keep := make([]byte, size)
+	rng.Read(keep)
+	if _, err := s.WriteGenomic("keep", keep); err != nil {
+		t.Fatal(err)
+	}
+	churn := make([]byte, size)
+	for i := 0; i < 8; i++ {
+		rng.Read(churn)
+		if _, err := s.WriteGenomic("churn", churn); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if s.Stats().BlockErases == 0 {
+		t.Fatal("expected garbage collection under churn")
+	}
+	got, _, err := s.ReadFile("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, keep) {
+		t.Fatal("GC corrupted unrelated data")
+	}
+	got2, _, err := s.ReadFile("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, churn) {
+		t.Fatal("GC corrupted churned data")
+	}
+}
+
+func TestBandwidthModel(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With default timing: bus = 1200 MB/s/channel; array (multiplane) =
+	// 8 units / 60µs × 16KB ≈ 2133 MB/s → bus-limited → 9600 MB/s total.
+	full := s.InternalReadBandwidthMBps(true)
+	if full < 9000 || full > 9700 {
+		t.Fatalf("aligned internal bandwidth %.0f MB/s outside expected range", full)
+	}
+	// Without multi-plane: 4 units / 60µs × 16KB ≈ 1067 MB/s → array-
+	// limited → ~8533 MB/s.
+	conv := s.InternalReadBandwidthMBps(false)
+	if conv >= full {
+		t.Fatalf("conventional layout %.0f must be slower than aligned %.0f", conv, full)
+	}
+	// External reads are capped by the interface.
+	tExt := s.ExternalReadTime(1<<30, true)
+	tIface := s.InterfaceTime(1 << 30)
+	if tExt < tIface {
+		t.Fatal("external read cannot beat the interface")
+	}
+}
+
+func TestSATAInterfaceDominates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interface = SATA3()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(100 << 20)
+	ext := s.ExternalReadTime(n, true)
+	intl := s.InternalReadTime(n, true)
+	if ext <= intl {
+		t.Fatal("on SATA the interface must dominate the internal time")
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Geometry.Channels = 1
+	cfg.Geometry.DiesPerChannel = 1
+	cfg.Geometry.PlanesPerDie = 1
+	cfg.Geometry.BlocksPerPlane = 2
+	cfg.Geometry.PagesPerBlock = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, cfg.Geometry.TotalBytes()+int64(cfg.Geometry.PageSize))
+	if _, err := s.WriteGenomic("too-big", big); err == nil {
+		t.Fatal("expected out-of-space error")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10000)
+	if _, err := s.WriteGenomic("x", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadFile("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PageWrites == 0 || st.PageReads == 0 || st.HostReadB != 10000 || st.HostWrittenB != 10000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Geometry.Channels = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected geometry validation error")
+	}
+}

@@ -1,0 +1,105 @@
+package ssd
+
+import "time"
+
+// The timing model is analytic, following the paper's methodology of
+// feeding per-component latencies and throughputs into a pipeline model
+// (§7). A streaming read keeps every channel busy; within a channel, page
+// reads from different dies/planes overlap with bus transfers, so the
+// sustained per-channel rate is the minimum of the bus rate and the array
+// rate:
+//
+//	busPagesPerSec   = channelMBps / pageSize
+//	arrayPagesPerSec = parallelUnits / tR
+//
+// where parallelUnits = dies × planes when the layout sustains multi-plane
+// operations (SAGe's aligned genomic layout, §5.3) and dies otherwise
+// (conventional placement cannot guarantee plane-aligned offsets).
+
+// channelPagesPerSec returns the sustained per-channel page rate.
+func (s *SSD) channelPagesPerSec(multiPlane bool) float64 {
+	g, t := s.cfg.Geometry, s.cfg.Timing
+	bus := t.ChannelMBps * 1e6 / float64(g.PageSize)
+	units := g.DiesPerChannel
+	if multiPlane {
+		units *= g.PlanesPerDie
+	}
+	array := float64(units) / t.PageRead.Seconds()
+	if array < bus {
+		return array
+	}
+	return bus
+}
+
+// InternalReadBandwidthMBps is the aggregate flash-array read bandwidth
+// available inside the device.
+func (s *SSD) InternalReadBandwidthMBps(genomicLayout bool) float64 {
+	pps := s.channelPagesPerSec(genomicLayout)
+	return pps * float64(s.cfg.Geometry.Channels) * float64(s.cfg.Geometry.PageSize) / 1e6
+}
+
+// InternalReadTime models streaming nBytes from flash to an internal
+// consumer (per-channel SAGe hardware or the in-storage filter), with no
+// host-interface cap.
+func (s *SSD) InternalReadTime(nBytes int64, genomicLayout bool) time.Duration {
+	if nBytes <= 0 {
+		return 0
+	}
+	bw := s.InternalReadBandwidthMBps(genomicLayout) * 1e6 // B/s
+	secs := float64(nBytes)/bw + s.cfg.Timing.PageRead.Seconds()
+	return time.Duration(secs * float64(time.Second))
+}
+
+// ExternalReadTime models streaming nBytes to the host: internal flash
+// time and interface transfer overlap, so the slower one dominates.
+func (s *SSD) ExternalReadTime(nBytes int64, genomicLayout bool) time.Duration {
+	internal := s.InternalReadTime(nBytes, genomicLayout)
+	iface := s.InterfaceTime(nBytes)
+	if iface > internal {
+		return iface
+	}
+	return internal
+}
+
+// InterfaceTime models moving nBytes across the host link.
+func (s *SSD) InterfaceTime(nBytes int64) time.Duration {
+	if nBytes <= 0 {
+		return 0
+	}
+	secs := float64(nBytes) / (s.cfg.Interface.MBps * 1e6)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// writeTime models streaming program operations.
+func (s *SSD) writeTime(nBytes int64, genomicLayout bool) time.Duration {
+	if nBytes <= 0 {
+		return 0
+	}
+	g, t := s.cfg.Geometry, s.cfg.Timing
+	bus := t.ChannelMBps * 1e6 / float64(g.PageSize)
+	units := g.DiesPerChannel
+	if genomicLayout {
+		units *= g.PlanesPerDie
+	}
+	array := float64(units) / t.PageProgram.Seconds()
+	pps := bus
+	if array < bus {
+		pps = array
+	}
+	total := pps * float64(g.Channels) * float64(g.PageSize) // B/s
+	if ifaceBps := s.cfg.Interface.MBps * 1e6; ifaceBps < total {
+		total = ifaceBps
+	}
+	secs := float64(nBytes)/total + t.PageProgram.Seconds()
+	return time.Duration(secs * float64(time.Second))
+}
+
+// ReadEnergy returns the energy for a read busy interval.
+func (s *SSD) ReadEnergy(busy time.Duration) float64 {
+	return s.cfg.Power.ActiveReadW * busy.Seconds()
+}
+
+// IdleEnergy returns the idle energy over an interval.
+func (s *SSD) IdleEnergy(total time.Duration) float64 {
+	return s.cfg.Power.IdleW * total.Seconds()
+}
