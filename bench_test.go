@@ -68,6 +68,12 @@ func BenchmarkFig17_OptBreakdown(b *testing.B)      { runExperiment(b, "fig17") 
 func BenchmarkTable3_ToolComparison(b *testing.B)   { runExperiment(b, "tab3") }
 func BenchmarkFig18_CompressionTime(b *testing.B)   { runExperiment(b, "fig18") }
 
+// BenchmarkShardScaling reports the sharded-pipeline scaling table:
+// measured per-shard compression times scheduled onto 1..16 workers
+// (see internal/bench/shard.go; wall-clock pool runs live in
+// internal/shard's own benchmarks).
+func BenchmarkShardScaling(b *testing.B) { runExperiment(b, "shard") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

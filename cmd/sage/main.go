@@ -23,6 +23,7 @@ import (
 	"sage/internal/core"
 	"sage/internal/fastq"
 	"sage/internal/genome"
+	"sage/internal/shard"
 	"sage/internal/simulate"
 )
 
@@ -62,9 +63,16 @@ func usage() {
 commands:
   simulate    -out reads.fastq -ref ref.txt [-long] [-genome 200000] [-reads 2000] [-seed 1]
   compress    -in reads.fastq -out reads.sage (-ref ref.txt | -denovo) [-no-quality] [-no-headers]
-  decompress  -in reads.sage -out reads.fastq [-ref ref.txt]
+              [-shard-reads 4096] [-threads N]
+  decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
   inspect     -in reads.sage
-  verify      -a a.fastq -b b.fastq`)
+  verify      -a a.fastq -b b.fastq
+
+compress with -shard-reads 0 emits a single-block container; any other
+value emits a sharded, seekable container whose shards are compressed
+and decompressed in parallel on -threads workers (0 = all CPUs). With
+-ref, sharded compression streams the input file batch by batch instead
+of loading it whole.`)
 }
 
 func cmdSimulate(args []string) error {
@@ -106,6 +114,8 @@ func cmdCompress(args []string) error {
 	denovo := fs.Bool("denovo", false, "derive the consensus from the reads (de Bruijn assembly)")
 	noQual := fs.Bool("no-quality", false, "discard quality scores")
 	noHdr := fs.Bool("no-headers", false, "discard read names")
+	shardReads := fs.Int("shard-reads", shard.DefaultShardReads, "reads per shard (0 = single-block container)")
+	threads := fs.Int("threads", 0, "compression workers (0 = all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +125,56 @@ func cmdCompress(args []string) error {
 	if *out == "" {
 		*out = *in + ".sage"
 	}
+
+	shardOpt := func(cons genome.Seq) shard.Options {
+		opt := shard.DefaultOptions(cons)
+		opt.ShardReads = *shardReads
+		opt.Workers = *threads
+		opt.Core.IncludeQuality = !*noQual
+		opt.Core.IncludeHeaders = !*noHdr
+		return opt
+	}
+
+	// Sharded compression against a reference streams the input file:
+	// the whole read set is never in memory at once. The container is
+	// streamed to a temp file and renamed in, so a failed run never
+	// clobbers an existing output.
+	if *shardReads > 0 && !*denovo {
+		if *refPath == "" {
+			return fmt.Errorf("compress: pass -ref or -denovo")
+		}
+		cons, err := readRef(*refPath)
+		if err != nil {
+			return err
+		}
+		opt := shardOpt(cons)
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		of, err := os.Create(*out + ".tmp")
+		if err != nil {
+			return err
+		}
+		st, err := shard.CompressStream(fastq.NewBatchReader(f, opt.ShardReads), of, opt)
+		if err == nil {
+			err = of.Close()
+		} else {
+			of.Close()
+		}
+		if err != nil {
+			os.Remove(*out + ".tmp")
+			return err
+		}
+		if err := os.Rename(*out+".tmp", *out); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d bytes in %d shards (%d reads, %d B header+index)\n",
+			*out, st.CompressedBytes, st.Shards, st.Reads, st.HeaderBytes)
+		return nil
+	}
+
 	rs, err := readFASTQ(*in)
 	if err != nil {
 		return err
@@ -136,9 +196,23 @@ func cmdCompress(args []string) error {
 	default:
 		return fmt.Errorf("compress: pass -ref or -denovo")
 	}
+	raw := len(rs.Bytes())
+	if *shardReads > 0 { // only reachable with -denovo: -ref returned above
+		data, st, err := shard.Compress(rs, shardOpt(cons))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d -> %d bytes (%.2fx) in %d shards\n",
+			*out, raw, len(data), float64(raw)/float64(len(data)), st.Shards)
+		return nil
+	}
 	opt := core.DefaultOptions(cons)
 	opt.IncludeQuality = !*noQual
 	opt.IncludeHeaders = !*noHdr
+	opt.Workers = *threads
 	enc, err := core.Compress(rs, opt)
 	if err != nil {
 		return err
@@ -146,7 +220,6 @@ func cmdCompress(args []string) error {
 	if err := os.WriteFile(*out, enc.Data, 0o644); err != nil {
 		return err
 	}
-	raw := len(rs.Bytes())
 	fmt.Printf("%s: %d -> %d bytes (%.2fx); %d/%d reads mapped, %d chimeric, %d corner\n",
 		*out, raw, len(enc.Data), float64(raw)/float64(len(enc.Data)),
 		enc.Stats.NumMapped, enc.Stats.NumReads, enc.Stats.NumChimeric, enc.Stats.NumCorner)
@@ -158,6 +231,7 @@ func cmdDecompress(args []string) error {
 	in := fs.String("in", "", "input container")
 	out := fs.String("out", "", "output FASTQ (default: stdout)")
 	refPath := fs.String("ref", "", "consensus file (only if not embedded)")
+	threads := fs.Int("threads", 0, "decompression workers for sharded containers (0 = all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,7 +248,12 @@ func cmdDecompress(args []string) error {
 			return err
 		}
 	}
-	rs, err := core.Decompress(data, cons)
+	var rs *fastq.ReadSet
+	if shard.IsContainer(data) {
+		rs, err = shard.Decompress(data, cons, *threads)
+	} else {
+		rs, err = core.Decompress(data, cons)
+	}
 	if err != nil {
 		return err
 	}
@@ -203,7 +282,12 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	info, err := core.Inspect(data)
+	var info string
+	if shard.IsContainer(data) {
+		info, err = shard.Inspect(data)
+	} else {
+		info, err = core.Inspect(data)
+	}
 	if err != nil {
 		return err
 	}

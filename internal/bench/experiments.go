@@ -679,6 +679,7 @@ func (s *Suite) experimentList() []struct {
 		{"fig17", s.Fig17},
 		{"tab3", s.Table3},
 		{"fig18", s.Fig18},
+		{"shard", s.ShardScaling},
 	}
 }
 

@@ -241,6 +241,9 @@ func (cu *ControlUnit) decodeRead(prevPos *int) (genome.Seq, error) {
 			return nil, err
 		}
 	}
+	if readLen > cu.hdr.maxReadLen {
+		return nil, fmt.Errorf("core: read length %d exceeds header maximum %d", readLen, cu.hdr.maxReadLen)
+	}
 	segs := make([]segPlan, nSegs)
 	segs[0] = segPlan{consPos: pos, rev: rev0}
 	extraLen := 0

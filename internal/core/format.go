@@ -180,14 +180,39 @@ func parseContainer(data []byte) (*container, error) {
 		}
 		return int(v), nil
 	}
+	// rb reads a byte-count field and bounds it by the remaining input,
+	// so corrupt containers cannot trigger huge allocations.
+	rb := func(what string) (int, error) {
+		n, err := ru()
+		if err != nil {
+			return 0, err
+		}
+		if n > rd.Len() {
+			return 0, fmt.Errorf("core: %s (%d bytes) exceeds remaining input (%d)", what, n, rd.Len())
+		}
+		return n, nil
+	}
 	if c.hdr.numReads, err = ru(); err != nil {
 		return nil, err
+	}
+	// Every read costs at least one encoded bit, so the read count is
+	// bounded by the container's bit length.
+	if uint64(c.hdr.numReads) > uint64(len(data))*8 {
+		return nil, fmt.Errorf("core: implausible read count %d for a %d-byte container", c.hdr.numReads, len(data))
 	}
 	if c.hdr.consensusLen, err = ru(); err != nil {
 		return nil, err
 	}
 	if c.hdr.maxReadLen, err = ru(); err != nil {
 		return nil, err
+	}
+	// Mapped reads can be at most consensus-sized (plus insertions paid
+	// for in stream bits); unmapped reads are stored at >= 2 bits per
+	// base. Anything beyond that bound is corruption, and rejecting it
+	// keeps read-length claims from driving huge allocations.
+	if uint64(c.hdr.maxReadLen) > uint64(c.hdr.consensusLen)+uint64(len(data))*8 {
+		return nil, fmt.Errorf("core: implausible max read length %d (consensus %d, container %d bytes)",
+			c.hdr.maxReadLen, c.hdr.consensusLen, len(data))
 	}
 	if c.hdr.has(flagFixedReadLen) {
 		if c.hdr.fixedReadLen, err = ru(); err != nil {
@@ -216,6 +241,9 @@ func parseContainer(data []byte) (*container, error) {
 			f = genome.Format3Bit
 			nBytes = (c.hdr.consensusLen*3 + 7) / 8
 		}
+		if nBytes > rd.Len() {
+			return nil, fmt.Errorf("core: consensus (%d bytes) exceeds remaining input (%d)", nBytes, rd.Len())
+		}
 		packed := make([]byte, nBytes)
 		if _, err := io.ReadFull(rd, packed); err != nil {
 			return nil, fmt.Errorf("core: reading consensus: %w", err)
@@ -231,7 +259,7 @@ func parseContainer(data []byte) (*container, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: stream %s bits: %w", streamNames[i], err)
 		}
-		nBytes, err := ru()
+		nBytes, err := rb(fmt.Sprintf("stream %s", streamNames[i]))
 		if err != nil {
 			return nil, fmt.Errorf("core: stream %s length: %w", streamNames[i], err)
 		}
@@ -245,7 +273,7 @@ func parseContainer(data []byte) (*container, error) {
 		c.streams[i] = stream{bits: bits, data: buf}
 	}
 	if c.hdr.has(flagQuality) {
-		n, err := ru()
+		n, err := rb("quality stream")
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +283,7 @@ func parseContainer(data []byte) (*container, error) {
 		}
 	}
 	if c.hdr.has(flagHeaders) {
-		n, err := ru()
+		n, err := rb("header stream")
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/simulate"
+)
+
+// fuzzConsensus is the fixed consensus fuzz roundtrips compress against.
+// Arbitrary fuzz-generated reads mostly land in the unmapped stream,
+// which is exactly the path a hostile input exercises.
+func fuzzConsensus() genome.Seq {
+	rng := rand.New(rand.NewSource(99))
+	return genome.Random(rng, 4096)
+}
+
+// FuzzRoundtrip drives both halves of the codec:
+//
+//  1. The input bytes are fed to Decompress as a (usually corrupt)
+//     container. Any outcome but a clean error is a bug: the decoder
+//     must never panic or over-allocate on hostile input.
+//  2. If the input bytes parse as FASTQ, the read set is compressed and
+//     decompressed, and the roundtrip must be fastq.Equivalent.
+//
+// The seed corpus holds valid containers (so mutations explore the
+// container format) and valid FASTQ text (so mutations explore the
+// compression path).
+func FuzzRoundtrip(f *testing.F) {
+	cons := fuzzConsensus()
+	rng := rand.New(rand.NewSource(2))
+	donor, _ := genome.Donor(rng, cons, genome.HumanLikeProfile())
+	rs, err := simulate.New(rng, donor).ShortReads(40, simulate.DefaultShortProfile())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seed 1: a full self-contained container.
+	enc, err := Compress(rs, DefaultOptions(cons))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Data)
+	// Seed 2: a DNA-only container with an external consensus.
+	bare := DefaultOptions(cons)
+	bare.EmbedConsensus = false
+	bare.IncludeQuality = false
+	bare.IncludeHeaders = false
+	if enc, err = Compress(rs, bare); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Data)
+	// Seed 3: FASTQ text.
+	f.Add(rs.Bytes())
+	// Seed 4: tiny hand-written FASTQ.
+	f.Add([]byte("@r1\nACGTN\n+\n!!!!!\n@r2\nGG\n+\n##\n"))
+	// Seed 5: a truncated container and raw garbage.
+	f.Add(enc.Data[:len(enc.Data)/2])
+	f.Add([]byte("SAGe\x01\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		// Arm 1: hostile container bytes. Errors are expected; panics
+		// and runaway allocations are not.
+		if got, err := Decompress(data, nil); err == nil && got == nil {
+			t.Fatal("Decompress returned nil set with nil error")
+		}
+		_, _ = Decompress(data, cons)
+
+		// Arm 2: valid FASTQ must survive a compress/decompress cycle.
+		in, err := fastq.Parse(bytes.NewReader(data))
+		if err != nil || len(in.Records) == 0 || in.TotalBases() > 1<<14 {
+			return
+		}
+		opt := DefaultOptions(cons)
+		opt.IncludeQuality = fullQuality(in)
+		enc, err := Compress(in, opt)
+		if err != nil {
+			// Compress may reject degenerate sets (e.g. records with
+			// missing qualities); rejecting is fine, corrupting is not.
+			return
+		}
+		out, err := Decompress(enc.Data, nil)
+		if err != nil {
+			t.Fatalf("valid container failed to decompress: %v", err)
+		}
+		if !fastq.Equivalent(in, out) {
+			t.Fatalf("roundtrip not equivalent: %d reads in, %d out", len(in.Records), len(out.Records))
+		}
+	})
+}
+
+// fullQuality reports whether every non-empty record carries quality
+// scores, the precondition for IncludeQuality.
+func fullQuality(rs *fastq.ReadSet) bool {
+	for i := range rs.Records {
+		if rs.Records[i].Qual == nil && len(rs.Records[i].Seq) > 0 {
+			return false
+		}
+	}
+	return true
+}

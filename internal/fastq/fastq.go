@@ -161,60 +161,21 @@ func (rs *ReadSet) Bytes() []byte {
 	return buf.Bytes()
 }
 
-// Parse reads FASTQ text into a ReadSet.
+// Parse reads FASTQ text into a ReadSet. It is a convenience loop over
+// Scanner; use Scanner or BatchReader directly to stream large files.
 func Parse(r io.Reader) (*ReadSet, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc := NewScanner(r)
 	rs := &ReadSet{}
-	line := 0
-	for sc.Scan() {
-		line++
-		h := sc.Text()
-		if len(h) == 0 {
-			continue
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return rs, nil
 		}
-		if h[0] != '@' {
-			return nil, fmt.Errorf("fastq: line %d: expected '@', got %q", line, h)
-		}
-		if !sc.Scan() {
-			return nil, fmt.Errorf("fastq: line %d: truncated record (no sequence)", line)
-		}
-		line++
-		seq, err := genome.FromString(sc.Text())
 		if err != nil {
-			return nil, fmt.Errorf("fastq: line %d: %w", line, err)
+			return nil, err
 		}
-		if !sc.Scan() {
-			return nil, fmt.Errorf("fastq: line %d: truncated record (no separator)", line)
-		}
-		line++
-		if sep := sc.Text(); len(sep) == 0 || sep[0] != '+' {
-			return nil, fmt.Errorf("fastq: line %d: expected '+', got %q", line, sep)
-		}
-		if !sc.Scan() {
-			return nil, fmt.Errorf("fastq: line %d: truncated record (no quality)", line)
-		}
-		line++
-		qline := sc.Bytes()
-		var qual []byte
-		if len(qline) > 0 {
-			if len(qline) != len(seq) {
-				return nil, fmt.Errorf("fastq: line %d: %d quality chars for %d bases", line, len(qline), len(seq))
-			}
-			qual = make([]byte, len(qline))
-			for i, c := range qline {
-				if c < QualityOffset || c-QualityOffset > MaxQuality {
-					return nil, fmt.Errorf("fastq: line %d: quality char %q out of range", line, c)
-				}
-				qual[i] = c - QualityOffset
-			}
-		}
-		rs.Records = append(rs.Records, Record{Header: h[1:], Seq: seq, Qual: qual})
+		rs.Records = append(rs.Records, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return rs, nil
 }
 
 // Equivalent reports whether two read sets contain the same multiset of

@@ -1,0 +1,131 @@
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sage/internal/genome"
+)
+
+// Scanner reads FASTQ records one at a time from a stream, so callers can
+// batch and pipeline reads without materializing the whole file (§3.1:
+// I/O, decompression and analysis operate on batches in a pipelined
+// manner). Parse is a thin loop over Scanner.
+type Scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewScanner wraps r in a record-at-a-time FASTQ reader.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &Scanner{sc: sc}
+}
+
+// Line returns the number of input lines consumed so far.
+func (s *Scanner) Line() int { return s.line }
+
+// Next returns the next record. It returns io.EOF once the input is
+// exhausted, and a descriptive error (with a line number) on malformed
+// input.
+func (s *Scanner) Next() (Record, error) {
+	var h string
+	for {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				return Record{}, err
+			}
+			return Record{}, io.EOF
+		}
+		s.line++
+		h = s.sc.Text()
+		if len(h) != 0 {
+			break
+		}
+	}
+	if h[0] != '@' {
+		return Record{}, fmt.Errorf("fastq: line %d: expected '@', got %q", s.line, h)
+	}
+	if !s.sc.Scan() {
+		return Record{}, fmt.Errorf("fastq: line %d: truncated record (no sequence)", s.line)
+	}
+	s.line++
+	seq, err := genome.FromString(s.sc.Text())
+	if err != nil {
+		return Record{}, fmt.Errorf("fastq: line %d: %w", s.line, err)
+	}
+	if !s.sc.Scan() {
+		return Record{}, fmt.Errorf("fastq: line %d: truncated record (no separator)", s.line)
+	}
+	s.line++
+	if sep := s.sc.Text(); len(sep) == 0 || sep[0] != '+' {
+		return Record{}, fmt.Errorf("fastq: line %d: expected '+', got %q", s.line, sep)
+	}
+	if !s.sc.Scan() {
+		return Record{}, fmt.Errorf("fastq: line %d: truncated record (no quality)", s.line)
+	}
+	s.line++
+	qline := s.sc.Bytes()
+	var qual []byte
+	if len(qline) > 0 {
+		if len(qline) != len(seq) {
+			return Record{}, fmt.Errorf("fastq: line %d: %d quality chars for %d bases", s.line, len(qline), len(seq))
+		}
+		qual = make([]byte, len(qline))
+		for i, c := range qline {
+			if c < QualityOffset || c-QualityOffset > MaxQuality {
+				return Record{}, fmt.Errorf("fastq: line %d: quality char %q out of range", s.line, c)
+			}
+			qual[i] = c - QualityOffset
+		}
+	}
+	return Record{Header: h[1:], Seq: seq, Qual: qual}, nil
+}
+
+// BatchReader groups a Scanner's records into fixed-size Batches: the
+// shard-sized work units of the parallel compression pipeline. Only one
+// batch of raw reads is held in memory per Next call, so arbitrarily
+// large FASTQ files stream through a bounded footprint.
+type BatchReader struct {
+	s    *Scanner
+	size int
+	next int
+	done bool
+}
+
+// NewBatchReader reads FASTQ from r in batches of at most size records
+// (size <= 0 means batches of 1).
+func NewBatchReader(r io.Reader, size int) *BatchReader {
+	if size <= 0 {
+		size = 1
+	}
+	return &BatchReader{s: NewScanner(r), size: size}
+}
+
+// Next returns the next batch. It returns io.EOF once no records remain
+// (an empty input yields io.EOF immediately).
+func (b *BatchReader) Next() (Batch, error) {
+	if b.done {
+		return Batch{}, io.EOF
+	}
+	recs := make([]Record, 0, b.size)
+	for len(recs) < b.size {
+		rec, err := b.s.Next()
+		if err == io.EOF {
+			b.done = true
+			if len(recs) == 0 {
+				return Batch{}, io.EOF
+			}
+			break
+		}
+		if err != nil {
+			return Batch{}, err
+		}
+		recs = append(recs, rec)
+	}
+	batch := Batch{Index: b.next, Records: recs}
+	b.next++
+	return batch, nil
+}

@@ -1,0 +1,115 @@
+package fastq
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const streamSample = "@r1\nACGT\n+\n!!!!\n@r2\nGGC\n+\n###\n@r3\nTTTA\n+\n!!!!\n@r4\nCC\n+\n!!\n@r5\nAACGT\n+\n!!!!!\n"
+
+func TestScannerMatchesParse(t *testing.T) {
+	want, err := Parse(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(strings.NewReader(streamSample))
+	var got ReadSet
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Records = append(got.Records, rec)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("scanner yielded %d records, Parse %d", len(got.Records), len(want.Records))
+	}
+	if !Equivalent(&got, want) {
+		t.Fatal("scanner records differ from Parse records")
+	}
+	for i := range got.Records {
+		if got.Records[i].Header != want.Records[i].Header {
+			t.Fatalf("record %d: header order differs", i)
+		}
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	cases := []struct {
+		name, in, substr string
+	}{
+		{"bad header", "xr1\nACGT\n+\n!!!!\n", "expected '@'"},
+		{"truncated", "@r1\nACGT\n", "truncated"},
+		{"bad separator", "@r1\nACGT\n-\n!!!!\n", "expected '+'"},
+		{"qual length", "@r1\nACGT\n+\n!!!\n", "quality chars"},
+		{"qual range", "@r1\nACGT\n+\n!! !\n", "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc := NewScanner(strings.NewReader(c.in))
+			_, err := sc.Next()
+			if err == nil || !strings.Contains(err.Error(), c.substr) {
+				t.Fatalf("got error %v, want substring %q", err, c.substr)
+			}
+		})
+	}
+}
+
+func TestBatchReader(t *testing.T) {
+	br := NewBatchReader(strings.NewReader(streamSample), 2)
+	var sizes []int
+	total := 0
+	for i := 0; ; i++ {
+		b, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Index != i {
+			t.Fatalf("batch %d has index %d", i, b.Index)
+		}
+		sizes = append(sizes, len(b.Records))
+		total += len(b.Records)
+	}
+	if total != 5 || len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("got batch sizes %v (total %d), want [2 2 1]", sizes, total)
+	}
+	// After EOF, Next keeps returning EOF.
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestBatchReaderEmpty(t *testing.T) {
+	br := NewBatchReader(strings.NewReader(""), 4)
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("empty input: got %v, want io.EOF", err)
+	}
+}
+
+func TestBatchReaderMatchesBatches(t *testing.T) {
+	rs, err := Parse(strings.NewReader(streamSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rs.Batches(3)
+	br := NewBatchReader(strings.NewReader(streamSample), 3)
+	for _, wb := range want {
+		gb, err := br.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gb.Index != wb.Index || len(gb.Records) != len(wb.Records) {
+			t.Fatalf("batch %d: got %d records, want %d", wb.Index, len(gb.Records), len(wb.Records))
+		}
+	}
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatal("BatchReader yielded more batches than ReadSet.Batches")
+	}
+}

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"sage/internal/fastq"
+)
+
+// Wall-clock worker-pool benchmarks. On a multi-core machine the
+// compress/decompress throughput scales with the worker count; compare
+// against the machine-independent scaling model in internal/bench
+// (experiment "shard").
+
+func benchSet(b *testing.B) (*fastq.ReadSet, Options) {
+	rs, ref := testSet(b, 1024)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 128 // 8 shards
+	return rs, opt
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rs, opt := benchSet(b)
+	raw := int64(len(rs.Bytes()))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt.Workers = workers
+			b.SetBytes(raw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Compress(rs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rs, opt := benchSet(b)
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := int64(len(rs.Bytes()))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(raw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompress(data, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseIndex(b *testing.B) {
+	rs, opt := benchSet(b)
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package shard implements SAGe's sharded container: a read set split
+// into fixed-size batches, each compressed independently as one SAGe
+// block, held together by a seekable per-shard index. Shards are the
+// unit of parallel compression and decompression (this package's worker
+// pools), of pipelined I/O→decompress→analyze execution (§3.1), and —
+// in later PRs — of per-shard in-storage scan units and multi-client
+// serving.
+//
+// Container layout (multi-byte integers are unsigned varints unless
+// noted; checksums are fixed-width little-endian):
+//
+//	magic        "SAGS"
+//	version      u8 (1)
+//	flags        u8 (hasConsensus | consensusHasN<<1)
+//	totalReads   total records across all shards
+//	shardReads   target records per shard (0 = unknown/streaming)
+//	consensusLen (only when hasConsensus)
+//	consensus    (only when hasConsensus) 2-bit packed, or 3-bit packed
+//	             when consensusHasN
+//	shardCount
+//	index        shardCount × (readCount, offset, length, checksum u32 LE)
+//	headerCRC    u32 LE, CRC-32/IEEE of every byte above (magic..index)
+//	blocks       concatenated SAGe core containers
+//
+// Offsets are relative to the start of the block section, so the index
+// alone is enough to seek to, verify (CRC-32/IEEE), and decode any
+// single shard without touching the others. The consensus is stored
+// once at the container level and shared by every block (each block is
+// compressed with EmbedConsensus off), so sharding does not multiply
+// the consensus cost.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"sage/internal/genome"
+)
+
+// Magic identifies a sharded SAGe container ("SAGS", vs "SAGe" for a
+// single-block container).
+var Magic = [4]byte{'S', 'A', 'G', 'S'}
+
+// FormatVersion is the current container version.
+const FormatVersion = 1
+
+// Flag bits.
+const (
+	flagConsensus = 1 << iota
+	flagConsensusHasN
+)
+
+// Entry describes one shard in the index.
+type Entry struct {
+	// ReadCount is the number of records in the shard.
+	ReadCount int
+	// Offset is the shard block's byte offset from the start of the
+	// block section.
+	Offset int64
+	// Length is the block's byte length.
+	Length int64
+	// Checksum is the CRC-32 (IEEE) of the block bytes.
+	Checksum uint32
+}
+
+// Index is the container's table of contents.
+type Index struct {
+	// TotalReads is the record count across all shards.
+	TotalReads int
+	// ShardReads is the target shard size the writer used (0 if the
+	// writer streamed with an unknown total).
+	ShardReads int
+	// Entries lists the shards in read order.
+	Entries []Entry
+}
+
+// BlockBytes sums the block lengths.
+func (ix *Index) BlockBytes() int64 {
+	var n int64
+	for _, e := range ix.Entries {
+		n += e.Length
+	}
+	return n
+}
+
+// Container is a parsed sharded container: header, index, and the raw
+// block section. Blocks are decoded lazily, one shard at a time.
+type Container struct {
+	Index Index
+	// Consensus is the embedded shared consensus, nil if the container
+	// was written without one.
+	Consensus genome.Seq
+	blocks    []byte
+}
+
+// NumShards returns the shard count.
+func (c *Container) NumShards() int { return len(c.Index.Entries) }
+
+// marshalHeader encodes magic, version, flags, counts, the optional
+// consensus, and the index. The block section follows it verbatim.
+func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.WriteByte(FormatVersion)
+	var flags uint8
+	if cons != nil {
+		flags |= flagConsensus
+		if cons.HasN() {
+			flags |= flagConsensusHasN
+		}
+	}
+	buf.WriteByte(flags)
+	writeUvarint(&buf, uint64(ix.TotalReads))
+	writeUvarint(&buf, uint64(ix.ShardReads))
+	if cons != nil {
+		writeUvarint(&buf, uint64(len(cons)))
+		f := genome.Format2Bit
+		if flags&flagConsensusHasN != 0 {
+			f = genome.Format3Bit
+		}
+		enc, err := genome.Encode(cons, f)
+		if err != nil {
+			return nil, fmt.Errorf("shard: packing consensus: %w", err)
+		}
+		buf.Write(enc)
+	}
+	writeUvarint(&buf, uint64(len(ix.Entries)))
+	for _, e := range ix.Entries {
+		writeUvarint(&buf, uint64(e.ReadCount))
+		writeUvarint(&buf, uint64(e.Offset))
+		writeUvarint(&buf, uint64(e.Length))
+		var cs [4]byte
+		binary.LittleEndian.PutUint32(cs[:], e.Checksum)
+		buf.Write(cs[:])
+	}
+	var hc [4]byte
+	binary.LittleEndian.PutUint32(hc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(hc[:])
+	return buf.Bytes(), nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+// IsContainer reports whether data starts with the sharded-container
+// magic. Callers use it to dispatch between shard.Decompress and
+// core.Decompress.
+func IsContainer(data []byte) bool {
+	return len(data) >= len(Magic) && bytes.Equal(data[:len(Magic)], Magic[:])
+}
+
+// Parse reads the header and index and validates the index against the
+// block section, without decoding any shard.
+func Parse(data []byte) (*Container, error) {
+	rd := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := io.ReadFull(rd, m[:]); err != nil || m != Magic {
+		return nil, fmt.Errorf("shard: bad magic %q", m[:])
+	}
+	ver, err := rd.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("shard: unsupported version %d", ver)
+	}
+	flags, err := rd.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	ru := func(what string) (int, error) {
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, fmt.Errorf("shard: reading %s: %w", what, err)
+		}
+		if v > uint64(len(data))*8 {
+			return 0, fmt.Errorf("shard: implausible %s %d for a %d-byte container", what, v, len(data))
+		}
+		return int(v), nil
+	}
+	c := &Container{}
+	if c.Index.TotalReads, err = ru("total read count"); err != nil {
+		return nil, err
+	}
+	if c.Index.ShardReads, err = ru("shard size"); err != nil {
+		return nil, err
+	}
+	if flags&flagConsensus != 0 {
+		consLen, err := ru("consensus length")
+		if err != nil {
+			return nil, err
+		}
+		f := genome.Format2Bit
+		nBytes := (consLen + 3) / 4
+		if flags&flagConsensusHasN != 0 {
+			f = genome.Format3Bit
+			nBytes = (consLen*3 + 7) / 8
+		}
+		if nBytes > rd.Len() {
+			return nil, fmt.Errorf("shard: consensus (%d bytes) exceeds remaining input (%d)", nBytes, rd.Len())
+		}
+		packed := make([]byte, nBytes)
+		if _, err := io.ReadFull(rd, packed); err != nil {
+			return nil, fmt.Errorf("shard: reading consensus: %w", err)
+		}
+		cons, err := genome.Decode(packed, consLen, f)
+		if err != nil {
+			return nil, fmt.Errorf("shard: unpacking consensus: %w", err)
+		}
+		c.Consensus = cons
+	}
+	nShards, err := ru("shard count")
+	if err != nil {
+		return nil, err
+	}
+	c.Index.Entries = make([]Entry, nShards)
+	reads := 0
+	var next int64
+	for i := range c.Index.Entries {
+		e := &c.Index.Entries[i]
+		if e.ReadCount, err = ru(fmt.Sprintf("shard %d read count", i)); err != nil {
+			return nil, err
+		}
+		off, err := ru(fmt.Sprintf("shard %d offset", i))
+		if err != nil {
+			return nil, err
+		}
+		length, err := ru(fmt.Sprintf("shard %d length", i))
+		if err != nil {
+			return nil, err
+		}
+		e.Offset, e.Length = int64(off), int64(length)
+		if e.Offset != next {
+			return nil, fmt.Errorf("shard: shard %d offset %d is not contiguous (want %d)", i, e.Offset, next)
+		}
+		next += e.Length
+		reads += e.ReadCount
+		var cs [4]byte
+		if _, err := io.ReadFull(rd, cs[:]); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d checksum: %w", i, err)
+		}
+		e.Checksum = binary.LittleEndian.Uint32(cs[:])
+	}
+	if reads != c.Index.TotalReads {
+		return nil, fmt.Errorf("shard: index lists %d reads but header claims %d", reads, c.Index.TotalReads)
+	}
+	var hc [4]byte
+	if _, err := io.ReadFull(rd, hc[:]); err != nil {
+		return nil, fmt.Errorf("shard: reading header checksum: %w", err)
+	}
+	hdrLen := len(data) - rd.Len() - len(hc)
+	if got := crc32.ChecksumIEEE(data[:hdrLen]); got != binary.LittleEndian.Uint32(hc[:]) {
+		return nil, fmt.Errorf("shard: header checksum mismatch: got %08x, container says %08x",
+			got, binary.LittleEndian.Uint32(hc[:]))
+	}
+	c.blocks = data[len(data)-rd.Len():]
+	if int64(len(c.blocks)) != next {
+		return nil, fmt.Errorf("shard: block section is %d bytes, index describes %d", len(c.blocks), next)
+	}
+	return c, nil
+}
+
+// Block returns shard i's raw SAGe block after verifying its checksum.
+func (c *Container) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Index.Entries) {
+		return nil, fmt.Errorf("shard: block %d out of range [0,%d)", i, len(c.Index.Entries))
+	}
+	e := c.Index.Entries[i]
+	b := c.blocks[e.Offset : e.Offset+e.Length]
+	if got := crc32.ChecksumIEEE(b); got != e.Checksum {
+		return nil, fmt.Errorf("shard: block %d checksum mismatch: got %08x, index says %08x", i, got, e.Checksum)
+	}
+	return b, nil
+}
+
+// Inspect renders a human-readable summary of a sharded container: the
+// header, the shared consensus, and the full shard index.
+func Inspect(data []byte) (string, error) {
+	c, err := Parse(data)
+	if err != nil {
+		return "", err
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "SAGe sharded container v%d, %d bytes (%d header+index, %d blocks)\n",
+		FormatVersion, len(data), int64(len(data))-c.Index.BlockBytes(), c.Index.BlockBytes())
+	fmt.Fprintf(&b, "reads: %d in %d shards (target %d reads/shard); consensus: %d bases (embedded: %v)\n",
+		c.Index.TotalReads, c.NumShards(), c.Index.ShardReads, len(c.Consensus), c.Consensus != nil)
+	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s\n", "shard", "reads", "offset", "bytes", "crc32")
+	for i, e := range c.Index.Entries {
+		fmt.Fprintf(&b, "%6d  %8d  %10d  %10d  %08x\n", i, e.ReadCount, e.Offset, e.Length, e.Checksum)
+	}
+	return b.String(), nil
+}

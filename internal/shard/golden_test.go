@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"sage/internal/genome"
+)
+
+// TestGoldenHeaderBytes pins the exact header + index encoding. If this
+// test fails, the on-disk format changed: either revert the change, or
+// bump FormatVersion and regenerate the golden bytes deliberately.
+func TestGoldenHeaderBytes(t *testing.T) {
+	ix := &Index{TotalReads: 5, ShardReads: 2, Entries: []Entry{
+		{ReadCount: 2, Offset: 0, Length: 300, Checksum: 0xDEADBEEF},
+		{ReadCount: 2, Offset: 300, Length: 287, Checksum: 0x01020304},
+		{ReadCount: 1, Offset: 587, Length: 131, Checksum: 0xCAFEF00D},
+	}}
+	cases := []struct {
+		name string
+		cons genome.Seq
+		hex  string
+	}{
+		{
+			name: "no consensus",
+			cons: nil,
+			hex: "5341475301000502030200ac02efbeadde02ac029f020403020101cb04" +
+				"83010df0feca22613381",
+		},
+		{
+			name: "2-bit consensus",
+			cons: genome.MustFromString("ACGTACGTAC"),
+			hex: "53414753010105020a1b1b10030200ac02efbeadde02ac029f0204030201" +
+				"01cb0483010df0feca2b52bd54",
+		},
+		{
+			name: "3-bit consensus with N",
+			cons: genome.MustFromString("ACGTN"),
+			hex: "5341475301030502050538030200ac02efbeadde02ac029f020403020101" +
+				"cb0483010df0feca6b8f57af",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := marshalHeader(ix, c.cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("header encoding changed:\n got %s\nwant %s",
+					hex.EncodeToString(got), c.hex)
+			}
+		})
+	}
+}
+
+// TestGoldenConstants pins the magic and version separately so a change
+// to either is called out by name.
+func TestGoldenConstants(t *testing.T) {
+	if string(Magic[:]) != "SAGS" {
+		t.Fatalf("magic changed: %q", Magic[:])
+	}
+	if FormatVersion != 1 {
+		t.Fatalf("format version changed: %d", FormatVersion)
+	}
+}
+
+// TestGoldenRoundtripHeader checks Parse inverts marshalHeader for a
+// header-only container (no blocks).
+func TestGoldenRoundtripHeader(t *testing.T) {
+	ix := &Index{TotalReads: 0, ShardReads: 7}
+	hdr, err := marshalHeader(ix, genome.MustFromString("ACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Index.ShardReads != 7 || c.NumShards() != 0 || c.Consensus.String() != "ACGT" {
+		t.Fatalf("parsed header mismatch: %+v cons=%q", c.Index, c.Consensus.String())
+	}
+}

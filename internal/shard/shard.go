@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sage/internal/core"
+	"sage/internal/fastq"
+	"sage/internal/genome"
+)
+
+// DefaultShardReads is the default shard size: large enough that the
+// per-block header and tuned-table overhead is amortized, small enough
+// that a worker pool has work to balance.
+const DefaultShardReads = 4096
+
+// Options parameterizes sharded compression.
+type Options struct {
+	// ShardReads is the number of reads per shard (<= 0 uses
+	// DefaultShardReads).
+	ShardReads int
+	// Workers bounds the compression worker pool (<= 0 uses
+	// GOMAXPROCS). Worker count never changes the output bytes.
+	Workers int
+	// Core parameterizes the per-shard codec. Core.EmbedConsensus
+	// selects container-level consensus embedding: the consensus is
+	// stored once in the shard index header (never per block).
+	Core core.Options
+}
+
+// DefaultOptions returns self-contained, fully lossless settings.
+func DefaultOptions(cons genome.Seq) Options {
+	return Options{ShardReads: DefaultShardReads, Core: core.DefaultOptions(cons)}
+}
+
+func (o *Options) shardReads() int {
+	if o.ShardReads <= 0 {
+		return DefaultShardReads
+	}
+	return o.ShardReads
+}
+
+func (o *Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// blockOptions derives the per-shard core options: the consensus lives
+// at the container level, and shard-level parallelism owns the cores.
+func (o *Options) blockOptions() core.Options {
+	bo := o.Core
+	bo.EmbedConsensus = false
+	bo.Workers = 1
+	return bo
+}
+
+// Stats summarizes a sharded compression.
+type Stats struct {
+	Shards          int
+	Reads           int
+	CompressedBytes int
+	// HeaderBytes counts magic + header + consensus + index.
+	HeaderBytes int
+	// BlockBytes counts the concatenated SAGe blocks.
+	BlockBytes int
+}
+
+// Compress splits rs into shards and compresses them concurrently. The
+// output is deterministic: any worker count produces identical bytes.
+func Compress(rs *fastq.ReadSet, opt Options) ([]byte, *Stats, error) {
+	batches := rs.Batches(opt.shardReads())
+	i := 0
+	next := func() (fastq.Batch, error) {
+		if i >= len(batches) {
+			return fastq.Batch{}, io.EOF
+		}
+		b := batches[i]
+		i++
+		return b, nil
+	}
+	var buf bytes.Buffer
+	st, err := compress(next, &buf, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), st, nil
+}
+
+// CompressStream compresses batches from br as they arrive, writing the
+// finished container to w. Raw reads are bounded to one in-flight batch
+// per worker; only the (much smaller) compressed blocks are buffered
+// until the index can be written.
+func CompressStream(br *fastq.BatchReader, w io.Writer, opt Options) (*Stats, error) {
+	return compress(br.Next, w, opt)
+}
+
+// compress runs the worker pool over next()'s batches and assembles the
+// container into w.
+func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stats, error) {
+	if len(opt.Core.Consensus) == 0 {
+		return nil, fmt.Errorf("shard: a consensus sequence is required")
+	}
+	blockOpt := opt.blockOptions()
+
+	var (
+		mu       sync.Mutex
+		blocks   [][]byte
+		counts   []int
+		firstErr error
+	)
+	var stop atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	workers := opt.workers()
+	jobs := make(chan fastq.Batch, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				if stop.Load() {
+					continue
+				}
+				enc, err := core.Compress(&fastq.ReadSet{Records: b.Records}, blockOpt)
+				if err != nil {
+					fail(fmt.Errorf("shard: compressing shard %d: %w", b.Index, err))
+					continue
+				}
+				mu.Lock()
+				for len(blocks) <= b.Index {
+					blocks = append(blocks, nil)
+					counts = append(counts, 0)
+				}
+				blocks[b.Index] = enc.Data
+				counts[b.Index] = len(b.Records)
+				mu.Unlock()
+			}
+		}()
+	}
+	for !stop.Load() {
+		b, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(fmt.Errorf("shard: reading batch: %w", err))
+			break
+		}
+		jobs <- b
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	ix := &Index{ShardReads: opt.shardReads(), Entries: make([]Entry, len(blocks))}
+	var off int64
+	for i, blk := range blocks {
+		if blk == nil {
+			return nil, fmt.Errorf("shard: shard %d was never compressed", i)
+		}
+		ix.TotalReads += counts[i]
+		ix.Entries[i] = Entry{
+			ReadCount: counts[i],
+			Offset:    off,
+			Length:    int64(len(blk)),
+			Checksum:  crc32.ChecksumIEEE(blk),
+		}
+		off += int64(len(blk))
+	}
+	var cons genome.Seq
+	if opt.Core.EmbedConsensus {
+		cons = opt.Core.Consensus
+	}
+	hdr, err := marshalHeader(ix, cons)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	for _, blk := range blocks {
+		if _, err := w.Write(blk); err != nil {
+			return nil, err
+		}
+	}
+	return &Stats{
+		Shards:          len(blocks),
+		Reads:           ix.TotalReads,
+		CompressedBytes: len(hdr) + int(off),
+		HeaderBytes:     len(hdr),
+		BlockBytes:      int(off),
+	}, nil
+}
+
+// DecompressShard decodes shard i. Like core.Decompress, an embedded
+// consensus always wins; cons is the fallback for containers written
+// without one.
+func (c *Container) DecompressShard(i int, cons genome.Seq) (*fastq.ReadSet, error) {
+	blk, err := c.Block(i)
+	if err != nil {
+		return nil, err
+	}
+	if c.Consensus != nil {
+		cons = c.Consensus
+	}
+	rs, err := core.Decompress(blk, cons)
+	if err != nil {
+		return nil, fmt.Errorf("shard: decoding shard %d: %w", i, err)
+	}
+	if len(rs.Records) != c.Index.Entries[i].ReadCount {
+		return nil, fmt.Errorf("shard: shard %d decoded %d reads, index says %d",
+			i, len(rs.Records), c.Index.Entries[i].ReadCount)
+	}
+	return rs, nil
+}
+
+// Decompress parses a sharded container and decodes its shards
+// concurrently on up to workers goroutines (<= 0 uses GOMAXPROCS),
+// reassembling reads in shard order. Output is byte-identical for any
+// worker count. cons is used only when the container has no embedded
+// consensus; pass nil for self-contained containers.
+func Decompress(data []byte, cons genome.Seq, workers int) (*fastq.ReadSet, error) {
+	c, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.NumShards() {
+		workers = c.NumShards()
+	}
+	parts := make([]*fastq.ReadSet, c.NumShards())
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	var stop atomic.Bool
+	jobs := make(chan int, c.NumShards())
+	for i := 0; i < c.NumShards(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stop.Load() {
+					continue
+				}
+				rs, err := c.DecompressShard(i, cons)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					continue
+				}
+				parts[i] = rs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &fastq.ReadSet{Records: make([]fastq.Record, 0, c.Index.TotalReads)}
+	for _, p := range parts {
+		out.Records = append(out.Records, p.Records...)
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sage/internal/core"
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/simulate"
+)
+
+// testSet simulates a deterministic read set and its reference.
+func testSet(t testing.TB, nReads int) (*fastq.ReadSet, genome.Seq) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ref := genome.Random(rng, 20_000)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	rs, err := simulate.New(rng, donor).ShortReads(nReads, simulate.DefaultShortProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, ref
+}
+
+// TestRoundtripWorkers checks that compression and decompression are
+// lossless and byte-deterministic across worker counts. Run under
+// `go test -race` this also exercises the worker pools for data races.
+func TestRoundtripWorkers(t *testing.T) {
+	rs, ref := testSet(t, 300)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 64 // 5 shards
+
+	var reference []byte
+	for _, workers := range []int{1, 2, 8} {
+		opt.Workers = workers
+		data, st, err := Compress(rs, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Shards != 5 || st.Reads != 300 {
+			t.Fatalf("workers=%d: got %d shards / %d reads, want 5 / 300", workers, st.Shards, st.Reads)
+		}
+		if reference == nil {
+			reference = data
+		} else if !bytes.Equal(data, reference) {
+			t.Fatalf("workers=%d: container bytes differ from workers=1", workers)
+		}
+		for _, dw := range []int{1, 2, 8} {
+			got, err := Decompress(data, nil, dw)
+			if err != nil {
+				t.Fatalf("decompress workers=%d: %v", dw, err)
+			}
+			if !fastq.Equivalent(rs, got) {
+				t.Fatalf("decompress workers=%d: read set not equivalent", dw)
+			}
+		}
+	}
+
+	// Decoded FASTQ bytes are identical regardless of worker count.
+	a, err := Decompress(reference, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompress(reference, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("decoded FASTQ differs between 1 and 8 workers")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	_, ref := testSet(t, 1)
+	data, st, err := Compress(&fastq.ReadSet{}, DefaultOptions(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 0 || st.Reads != 0 {
+		t.Fatalf("empty input: got %d shards / %d reads", st.Shards, st.Reads)
+	}
+	got, err := Decompress(data, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 0 {
+		t.Fatalf("empty input decoded to %d records", len(got.Records))
+	}
+}
+
+func TestShardLargerThanReadCount(t *testing.T) {
+	rs, ref := testSet(t, 10)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 1000
+	opt.Workers = 8
+	data, st, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 1 {
+		t.Fatalf("got %d shards, want 1", st.Shards)
+	}
+	got, err := Decompress(data, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fastq.Equivalent(rs, got) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestCompressStreamMatchesInMemory(t *testing.T) {
+	rs, ref := testSet(t, 250)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 64
+	opt.Workers = 4
+
+	want, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	br := fastq.NewBatchReader(bytes.NewReader(rs.Bytes()), opt.ShardReads)
+	st, err := CompressStream(br, &buf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("streamed container (%d B) differs from in-memory container (%d B)", buf.Len(), len(want))
+	}
+	if st.Reads != 250 {
+		t.Fatalf("stream stats: %d reads, want 250", st.Reads)
+	}
+}
+
+func TestCompressStreamBadInput(t *testing.T) {
+	_, ref := testSet(t, 1)
+	br := fastq.NewBatchReader(strings.NewReader("@r1\nACGT\nnot a separator\n!!!!\n"), 4)
+	var buf bytes.Buffer
+	if _, err := CompressStream(br, &buf, DefaultOptions(ref)); err == nil {
+		t.Fatal("malformed FASTQ stream did not error")
+	}
+}
+
+func TestExternalConsensus(t *testing.T) {
+	rs, ref := testSet(t, 80)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 32
+	opt.Core.EmbedConsensus = false
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(data, nil, 2); err == nil {
+		t.Fatal("decompress without a consensus should fail")
+	}
+	got, err := Decompress(data, ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fastq.Equivalent(rs, got) {
+		t.Fatal("roundtrip with external consensus failed")
+	}
+}
+
+func TestCorruptedBlockChecksum(t *testing.T) {
+	rs, ref := testSet(t, 120)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 32
+	data, st, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last block (well past the header and index).
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-st.BlockBytes/2] ^= 0xFF
+	_, err = Decompress(corrupt, nil, 4)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted block: got %v, want checksum error", err)
+	}
+}
+
+func TestCorruptedIndex(t *testing.T) {
+	rs, ref := testSet(t, 120)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 32
+	data, st, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := st.HeaderBytes
+
+	t.Run("truncated header", func(t *testing.T) {
+		for n := 0; n < hdrLen; n += 7 {
+			if _, err := Parse(data[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes parsed", n)
+			}
+		}
+	})
+	t.Run("truncated blocks", func(t *testing.T) {
+		if _, err := Parse(data[:len(data)-3]); err == nil {
+			t.Fatal("truncated block section parsed")
+		}
+	})
+	t.Run("flipped index bytes", func(t *testing.T) {
+		// Mutate each header/index byte after the magic; Parse or
+		// Decompress must reject (or survive) every variant without
+		// panicking. Some mutations only flip checksum bits, which
+		// Parse accepts and Decompress catches.
+		for i := len(Magic); i < hdrLen; i++ {
+			corrupt := append([]byte(nil), data...)
+			corrupt[i] ^= 0x5A
+			if _, err := Parse(corrupt); err != nil {
+				continue
+			}
+			if _, err := Decompress(corrupt, nil, 2); err == nil {
+				t.Fatalf("mutating header byte %d went undetected", i)
+			}
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		corrupt := append([]byte(nil), data...)
+		corrupt[0] = 'X'
+		if IsContainer(corrupt) {
+			t.Fatal("IsContainer accepted wrong magic")
+		}
+		if _, err := Parse(corrupt); err == nil {
+			t.Fatal("wrong magic parsed")
+		}
+	})
+}
+
+// TestSharedConsensusOverhead checks the container stores the consensus
+// once, not per shard: many small shards must not multiply its cost.
+func TestSharedConsensusOverhead(t *testing.T) {
+	rs, ref := testSet(t, 200)
+	one := DefaultOptions(ref)
+	one.ShardReads = 200
+	many := DefaultOptions(ref)
+	many.ShardReads = 20
+	dOne, _, err := Compress(rs, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMany, _, err := Compress(rs, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consBytes := (len(ref) + 3) / 4
+	if len(dMany) > len(dOne)+consBytes {
+		t.Fatalf("10x sharding grew container by %d bytes (consensus is %d): consensus duplicated?",
+			len(dMany)-len(dOne), consBytes)
+	}
+}
+
+// TestAgainstCore cross-checks that a shard block decoded alone matches
+// what the core codec would produce for the same records.
+func TestAgainstCore(t *testing.T) {
+	rs, ref := testSet(t, 90)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 30
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 3 {
+		t.Fatalf("got %d shards, want 3", c.NumShards())
+	}
+	for i := 0; i < c.NumShards(); i++ {
+		blk, err := c.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := &fastq.ReadSet{Records: rs.Records[i*30 : (i+1)*30]}
+		got, err := core.Decompress(blk, ref)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if !fastq.Equivalent(sub, got) {
+			t.Fatalf("shard %d does not decode to its source batch", i)
+		}
+	}
+}
+
+func TestInspect(t *testing.T) {
+	rs, ref := testSet(t, 100)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 40
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sharded container", "100", "3 shards", "crc32"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("Inspect output missing %q:\n%s", want, info)
+		}
+	}
+}
