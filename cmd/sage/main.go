@@ -5,15 +5,22 @@
 //	sage decompress .sage container -> FASTQ
 //	sage inspect    show a container's streams, tables and statistics
 //	sage verify     check two FASTQ files describe the same read multiset
+//	sage serve      serve a sharded container over HTTP, shard by shard
 //
 // Compression needs a consensus: pass -ref, or use -denovo to assemble
 // one from the reads (§2.2: "a user-provided reference, or a de-duplicated
 // string derived from the reads").
+//
+// Exit codes: 0 on success, 1 on runtime failure, 2 on a usage error
+// (unknown command, bad flag, negative -threads, trailing arguments).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -23,6 +30,7 @@ import (
 	"sage/internal/core"
 	"sage/internal/fastq"
 	"sage/internal/genome"
+	"sage/internal/serve"
 	"sage/internal/shard"
 	"sage/internal/simulate"
 )
@@ -44,6 +52,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -53,8 +63,53 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sage: %v\n", err)
+		if isUsageError(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks command-line mistakes (vs runtime failures) so main
+// can exit 2, matching the flag package's own convention.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// parseFlags runs fs over args and applies the validation every
+// subcommand shares: flag errors and unknown trailing arguments are
+// usage errors reported once through main (the FlagSets use
+// ContinueOnError with discarded output so flag doesn't double-print).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "usage of sage %s:\n", fs.Name())
+			fs.SetOutput(os.Stderr)
+			fs.PrintDefaults()
+			os.Exit(0)
+		}
+		return usageError{fmt.Errorf("%s: %w", fs.Name(), err)}
+	}
+	if fs.NArg() > 0 {
+		return usagef("%s: unexpected arguments %q", fs.Name(), fs.Args())
+	}
+	return nil
+}
+
+// checkThreads rejects negative worker counts (0 means "all CPUs").
+func checkThreads(name string, n int) error {
+	if n < 0 {
+		return usagef("%s: -threads must be >= 0 (0 = all CPUs), got %d", name, n)
+	}
+	return nil
 }
 
 func usage() {
@@ -65,25 +120,34 @@ commands:
   compress    -in reads.fastq -out reads.sage (-ref ref.txt | -denovo) [-no-quality] [-no-headers]
               [-shard-reads 4096] [-threads N]
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
-  inspect     -in reads.sage
+  inspect     -in reads.sage [-ref ref.txt]
   verify      -a a.fastq -b b.fastq
+  serve       -in reads.sage [-addr :8844] [-ref ref.txt] [-cache-bytes N] [-threads N]
 
 compress with -shard-reads 0 emits a single-block container; any other
 value emits a sharded, seekable container whose shards are compressed
 and decompressed in parallel on -threads workers (0 = all CPUs). With
 -ref, sharded compression streams the input file batch by batch instead
-of loading it whole.`)
+of loading it whole.
+
+serve opens a sharded container lazily (only the index is resident) and
+serves it to concurrent clients: GET /shards (index), /shard/{i} (raw
+block), /shard/{i}/reads (decoded FASTQ), /stats. Decoded shards are
+cached in an LRU bounded by -cache-bytes; concurrent requests for the
+same cold shard are collapsed into one decode on a -threads worker pool.
+
+exit codes: 0 success, 1 runtime failure, 2 usage error.`)
 }
 
 func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	out := fs.String("out", "reads.fastq", "output FASTQ path")
 	refOut := fs.String("ref", "ref.txt", "output reference path")
 	long := fs.Bool("long", false, "simulate nanopore-like long reads instead of short reads")
 	genomeLen := fs.Int("genome", 200000, "reference genome length")
 	nReads := fs.Int("reads", 2000, "number of reads")
 	seed := fs.Int64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	rs, ref, err := simulateSet(*long, *genomeLen, *nReads, *seed)
@@ -107,7 +171,7 @@ func cmdSimulate(args []string) error {
 }
 
 func cmdCompress(args []string) error {
-	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
 	in := fs.String("in", "", "input FASTQ")
 	out := fs.String("out", "", "output container (default: <in>.sage)")
 	refPath := fs.String("ref", "", "consensus/reference sequence file")
@@ -116,11 +180,17 @@ func cmdCompress(args []string) error {
 	noHdr := fs.Bool("no-headers", false, "discard read names")
 	shardReads := fs.Int("shard-reads", shard.DefaultShardReads, "reads per shard (0 = single-block container)")
 	threads := fs.Int("threads", 0, "compression workers (0 = all CPUs)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	if err := checkThreads("compress", *threads); err != nil {
+		return err
+	}
+	if *shardReads < 0 {
+		return usagef("compress: -shard-reads must be >= 0 (0 = single block), got %d", *shardReads)
+	}
 	if *in == "" {
-		return fmt.Errorf("compress: -in is required")
+		return usagef("compress: -in is required")
 	}
 	if *out == "" {
 		*out = *in + ".sage"
@@ -227,16 +297,19 @@ func cmdCompress(args []string) error {
 }
 
 func cmdDecompress(args []string) error {
-	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	fs := flag.NewFlagSet("decompress", flag.ContinueOnError)
 	in := fs.String("in", "", "input container")
 	out := fs.String("out", "", "output FASTQ (default: stdout)")
 	refPath := fs.String("ref", "", "consensus file (only if not embedded)")
 	threads := fs.Int("threads", 0, "decompression workers for sharded containers (0 = all CPUs)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := checkThreads("decompress", *threads); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("decompress: -in is required")
+		return usagef("decompress: -in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
@@ -270,22 +343,32 @@ func cmdDecompress(args []string) error {
 }
 
 func cmdInspect(args []string) error {
-	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	in := fs.String("in", "", "input container")
-	if err := fs.Parse(args); err != nil {
+	refPath := fs.String("ref", "", "consensus file for ratio columns (only if not embedded)")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("inspect: -in is required")
+		return usagef("inspect: -in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
+	var cons genome.Seq
+	if *refPath != "" {
+		if cons, err = readRef(*refPath); err != nil {
+			return err
+		}
+	}
 	var info string
 	if shard.IsContainer(data) {
-		info, err = shard.Inspect(data)
+		info, err = shard.Inspect(data, cons)
 	} else {
+		if cons != nil {
+			fmt.Fprintln(os.Stderr, "sage: note: -ref only affects sharded containers; single-block inspect has no ratio columns")
+		}
 		info, err = core.Inspect(data)
 	}
 	if err != nil {
@@ -296,11 +379,14 @@ func cmdInspect(args []string) error {
 }
 
 func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	a := fs.String("a", "", "first FASTQ")
 	b := fs.String("b", "", "second FASTQ")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *a == "" || *b == "" {
+		return usagef("verify: -a and -b are required")
 	}
 	ra, err := readFASTQ(*a)
 	if err != nil {
@@ -315,6 +401,59 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Printf("equivalent: %d reads, %d bases\n", len(ra.Records), ra.TotalBases())
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	in := fs.String("in", "", "sharded container to serve")
+	addr := fs.String("addr", ":8844", "listen address")
+	refPath := fs.String("ref", "", "consensus file (only if not embedded in the container)")
+	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "decoded-shard cache budget in bytes")
+	threads := fs.Int("threads", 0, "decode workers (0 = all CPUs)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := checkThreads("serve", *threads); err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef("serve: -in is required")
+	}
+	if *cacheBytes <= 0 {
+		// serve.Config treats <= 0 as "use the default", which would
+		// silently contradict a 0 the operator meant as "no cache".
+		return usagef("serve: -cache-bytes must be > 0, got %d", *cacheBytes)
+	}
+
+	// Open lazily: only the header and index are read now; blocks are
+	// fetched shard by shard as clients ask for them.
+	c, f, err := shard.OpenFile(*in)
+	if err != nil {
+		if pf, perr := os.Open(*in); perr == nil {
+			var magic [4]byte
+			_, rerr := io.ReadFull(pf, magic[:])
+			pf.Close()
+			if rerr == nil && core.IsContainer(magic[:]) {
+				return fmt.Errorf("serve: %s is a single-block container; only sharded containers are servable (recompress with -shard-reads > 0)", *in)
+			}
+		}
+		return err
+	}
+	defer f.Close()
+	cfg := serve.Config{CacheBytes: *cacheBytes, Workers: *threads}
+	if *refPath != "" {
+		if cfg.Consensus, err = readRef(*refPath); err != nil {
+			return err
+		}
+	}
+	s, err := serve.New(c, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s: %d reads in %d shards (%d B blocks), cache budget %d B\n",
+		*in, *addr, c.Index.TotalReads, c.NumShards(), c.Index.BlockBytes(), *cacheBytes)
+	fmt.Printf("endpoints: /shards /shard/{i} /shard/{i}/reads /stats\n")
+	return http.ListenAndServe(*addr, s)
 }
 
 func readFASTQ(path string) (*fastq.ReadSet, error) {

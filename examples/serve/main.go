@@ -1,0 +1,165 @@
+// Serving walkthrough: compress a read set into a sharded container on
+// disk, open it lazily (only the index is resident), stand up the
+// internal/serve HTTP daemon over it, and act as its clients — listing
+// the shard index, fetching raw blocks and decoded FASTQ, hammering one
+// cold shard from many goroutines to watch singleflight collapse the
+// decodes, and walking a container larger than the cache budget to watch
+// LRU eviction hold the byte bound. This is the ROADMAP's serving layer:
+// shard-granular data preparation for many concurrent consumers.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/serve"
+	"sage/internal/shard"
+	"sage/internal/simulate"
+)
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}
+
+func stats(url string) serve.Stats {
+	var st serve.Stats
+	if err := json.Unmarshal(get(url+"/stats"), &st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func main() {
+	// 1. Simulate a read set and compress it into a sharded container
+	// file, exactly as `sage compress -shard-reads 256` would.
+	rng := rand.New(rand.NewSource(42))
+	ref := genome.Random(rng, 100_000)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	reads, err := simulate.New(rng, donor).ShortReads(4096, simulate.DefaultShortProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := shard.DefaultOptions(ref)
+	opt.ShardReads = 256 // 16 shards
+	data, st, err := shard.Compress(reads, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "sage-serve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "reads.sage")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("container: %d reads in %d shards, %d bytes on disk\n",
+		st.Reads, st.Shards, st.CompressedBytes)
+
+	// 2. Open it lazily and start the server. The cache budget is set
+	// below the decoded size of the whole set, so serving everything
+	// must evict.
+	c, f, err := shard.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	decodedShard := len(reads.Bytes()) / st.Shards
+	budget := int64(decodedShard * 4) // room for ~4 of 16 decoded shards
+	srv, err := serve.New(c, serve.Config{CacheBytes: budget, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("serving on %s (decoded-shard cache budget %d B, ~4 shards)\n", ts.URL, budget)
+
+	// 3. A client discovers the shard layout from /shards.
+	var listing struct {
+		Shards int `json:"shards"`
+		Index  []struct {
+			Shard int   `json:"shard"`
+			Reads int   `json:"reads"`
+			Bytes int64 `json:"bytes"`
+		} `json:"index"`
+	}
+	if err := json.Unmarshal(get(ts.URL+"/shards"), &listing); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("/shards: %d shards; shard 5 holds %d reads in %d compressed bytes\n",
+		listing.Shards, listing.Index[5].Reads, listing.Index[5].Bytes)
+
+	// 4. Raw block vs decoded reads: the raw endpoint moves compressed
+	// bytes (for clients with their own decoder — e.g. an in-storage
+	// scan unit); /reads decodes server-side.
+	raw := get(fmt.Sprintf("%s/shard/5", ts.URL))
+	dec := get(fmt.Sprintf("%s/shard/5/reads", ts.URL))
+	got, err := fastq.Parse(bytes.NewReader(dec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub := &fastq.ReadSet{Records: reads.Records[5*256 : 6*256]}
+	if !fastq.Equivalent(sub, got) {
+		log.Fatal("served shard 5 is not equivalent to its source batch")
+	}
+	fmt.Printf("shard 5: %d compressed bytes raw, %d bytes decoded (%.1fx), equivalent to source\n",
+		len(raw), len(dec), float64(len(dec))/float64(len(raw)))
+
+	// 5. Singleflight: 24 clients rush the same cold shard; the server
+	// decodes once and everyone shares the result.
+	before := stats(ts.URL)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for n := 0; n < 24; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			get(fmt.Sprintf("%s/shard/11/reads", ts.URL))
+		}()
+	}
+	close(start)
+	wg.Wait()
+	after := stats(ts.URL)
+	fmt.Printf("24 clients, 1 cold shard: %d decode(s), %d deduped, %d cache hit(s)\n",
+		after.Decodes-before.Decodes, after.Deduped-before.Deduped, after.Hits-before.Hits)
+
+	// 6. Eviction: sweep every shard twice. 16 decoded shards cannot fit
+	// in a 4-shard budget, so the cache evicts but never exceeds it.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < listing.Shards; i++ {
+			get(fmt.Sprintf("%s/shard/%d/reads", ts.URL, i))
+		}
+	}
+	final := stats(ts.URL)
+	fmt.Printf("after sweeping all shards twice: cache %d/%d B in %d entries, %d evictions, hit ratio %.2f\n",
+		final.CacheBytes, final.CacheBudget, final.CacheEntries, final.Evictions, final.HitRatio)
+	if final.CacheBytes > final.CacheBudget {
+		log.Fatal("cache exceeded its budget")
+	}
+	fmt.Println("cache stayed within its byte budget throughout")
+}

@@ -42,7 +42,7 @@ func main() {
 		len(data), float64(len(raw))/float64(len(data)), st.Shards, st.HeaderBytes)
 
 	// 3. The container is seekable: the index alone locates any shard.
-	info, err := shard.Inspect(data)
+	info, err := shard.Inspect(data, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

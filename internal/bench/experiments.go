@@ -680,6 +680,7 @@ func (s *Suite) experimentList() []struct {
 		{"tab3", s.Table3},
 		{"fig18", s.Fig18},
 		{"shard", s.ShardScaling},
+		{"serve", s.ServeExperiment},
 	}
 }
 

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"sage/internal/serve"
+	"sage/internal/shard"
+)
+
+// This file benchmarks the serving layer (internal/serve) the way a
+// fleet of analysis clients would see it: real HTTP requests against a
+// lazily opened container, measuring how the decoded-shard cache turns
+// repeat traffic from decode-bound into memcpy-bound, and how the cache
+// behaves when the working set exceeds its byte budget.
+
+// ServeResult holds one measured phase of the serve experiment.
+type ServeResult struct {
+	Phase    string
+	Requests int
+	Total    time.Duration
+	Mean     time.Duration
+	Bytes    int64
+}
+
+func (r *ServeResult) mbps() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Total.Seconds() / 1e6
+}
+
+// serveGet fetches a URL and returns the body size, failing on any
+// non-200 status.
+func serveGet(client *http.Client, url string) (int64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("bench: GET %s: %s", url, resp.Status)
+	}
+	return n, nil
+}
+
+// sweep requests every shard once in order, returning the phase timing.
+func sweep(client *http.Client, base, phase string, shards int) (*ServeResult, error) {
+	r := &ServeResult{Phase: phase, Requests: shards}
+	start := time.Now()
+	for i := 0; i < shards; i++ {
+		n, err := serveGet(client, fmt.Sprintf("%s/shard/%d/reads", base, i))
+		if err != nil {
+			return nil, err
+		}
+		r.Bytes += n
+	}
+	r.Total = time.Since(start)
+	r.Mean = r.Total / time.Duration(shards)
+	return r, nil
+}
+
+// MeasureServe runs the three phases of the serve experiment over data
+// (a sharded container): a cold sweep (every shard is a decode), a warm
+// sweep (every shard is a cache hit — the cache is sized to hold the
+// whole decoded set), and a concurrent phase with `clients` goroutines
+// re-reading shards round-robin. It returns the phase timings and the
+// final server stats.
+func MeasureServe(data []byte, clients, rounds int) ([]*ServeResult, serve.Stats, error) {
+	c, err := shard.Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, serve.Stats{}, err
+	}
+	// Budget generously: the warm sweep must hit on every shard.
+	srv, err := serve.New(c, serve.Config{CacheBytes: 1 << 30})
+	if err != nil {
+		return nil, serve.Stats{}, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	shards := c.NumShards()
+	cold, err := sweep(client, ts.URL, "cold (decode per shard)", shards)
+	if err != nil {
+		return nil, serve.Stats{}, err
+	}
+	warm, err := sweep(client, ts.URL, "warm (cache hit per shard)", shards)
+	if err != nil {
+		return nil, serve.Stats{}, err
+	}
+
+	// Concurrent phase: all clients walk all shards `rounds` times.
+	conc := &ServeResult{
+		Phase:    fmt.Sprintf("%d concurrent clients", clients),
+		Requests: clients * rounds * shards,
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for n := 0; n < clients; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			var got int64
+			for k := 0; k < rounds*shards; k++ {
+				b, err := serveGet(client, fmt.Sprintf("%s/shard/%d/reads", ts.URL, (n+k)%shards))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				got += b
+			}
+			mu.Lock()
+			conc.Bytes += got
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, serve.Stats{}, firstErr
+	}
+	conc.Total = time.Since(start)
+	conc.Mean = conc.Total / time.Duration(conc.Requests)
+	return []*ServeResult{cold, warm, conc}, srv.Stats(), nil
+}
+
+// ServeExperiment builds the "serve" table on the RS2 dataset: cold vs
+// warm shard read latency and the cache hit ratio under concurrent load.
+func (s *Suite) ServeExperiment() (*Table, error) {
+	m, err := s.Measurement("RS2")
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Gen.Reads.Records)
+	opt := shard.DefaultOptions(m.Gen.Ref)
+	opt.ShardReads = (n + 15) / 16 // ~16 shards, matching the shard experiment
+	data, _, err := shard.Compress(m.Gen.Reads, opt)
+	if err != nil {
+		return nil, err
+	}
+	const clients, rounds = 8, 4
+	results, st, err := MeasureServe(data, clients, rounds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "serve",
+		Title:  "Shard serving: cold vs warm reads, cache under concurrency (RS2)",
+		Header: []string{"phase", "requests", "mean/req (ms)", "MB/s"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Phase,
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.3f", float64(r.Mean)/float64(time.Millisecond)),
+			f1(r.mbps()),
+		})
+	}
+	coldWarm := float64(results[0].Mean) / float64(results[1].Mean)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d shards; warm reads are %.1fx faster than cold (decode amortized into the LRU cache)", st.Shards, coldWarm),
+		fmt.Sprintf("lifetime: %d requests, %d decodes (singleflight+cache), hit ratio %.2f, %d evictions",
+			st.Hits+st.Misses, st.Decodes, st.HitRatio, st.Evictions),
+	)
+	return t, nil
+}

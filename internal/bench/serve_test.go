@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"sage/internal/genome"
+	"sage/internal/shard"
+	"sage/internal/simulate"
+)
+
+// TestMeasureServe is the acceptance gate for the serving experiment: on
+// a small container, the cold sweep must cost exactly one decode per
+// shard, the warm sweep and concurrent phase must be served from cache
+// (no further decodes — the cache is sized to hold the whole set), and
+// the hit ratio must account for every request. Wall-clock speedups are
+// reported by the experiment but not gated here: CI boxes are too noisy.
+func TestMeasureServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := genome.Random(rng, 30_000)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	rs, err := simulate.New(rng, donor).ShortReads(400, simulate.DefaultShortProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := shard.DefaultOptions(ref)
+	opt.ShardReads = 50 // 8 shards
+	data, _, err := shard.Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, rounds = 4, 2
+	results, st, err := MeasureServe(data, clients, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d phases, want 3", len(results))
+	}
+	shards := 8
+	wantReqs := shards + shards + clients*rounds*shards
+	if got := int(st.Hits + st.Misses); got != wantReqs {
+		t.Fatalf("hits+misses = %d, want %d", got, wantReqs)
+	}
+	if st.Decodes != int64(shards) {
+		t.Fatalf("decodes = %d, want %d (one per shard, cold sweep only)", st.Decodes, shards)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d with an oversized budget", st.Evictions)
+	}
+	wantRatio := float64(wantReqs-shards) / float64(wantReqs)
+	if st.HitRatio < wantRatio-1e-9 {
+		t.Fatalf("hit ratio %.3f, want >= %.3f", st.HitRatio, wantRatio)
+	}
+	for _, r := range results {
+		if r.Bytes == 0 || r.Total <= 0 {
+			t.Fatalf("phase %q measured nothing: %+v", r.Phase, r)
+		}
+	}
+	// Every phase served identical content, so bytes must agree.
+	if results[0].Bytes != results[1].Bytes {
+		t.Fatalf("cold sweep served %d bytes, warm %d", results[0].Bytes, results[1].Bytes)
+	}
+	if results[2].Bytes != int64(clients*rounds)*results[0].Bytes {
+		t.Fatalf("concurrent phase served %d bytes, want %d",
+			results[2].Bytes, int64(clients*rounds)*results[0].Bytes)
+	}
+}

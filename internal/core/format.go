@@ -36,6 +36,13 @@ import (
 
 var magic = [4]byte{'S', 'A', 'G', 'e'}
 
+// IsContainer reports whether data starts with the single-block
+// container magic ("SAGe", vs "SAGS" for a sharded container). Callers
+// use it to give shape-specific errors when dispatching.
+func IsContainer(data []byte) bool {
+	return len(data) >= len(magic) && bytes.Equal(data[:len(magic)], magic[:])
+}
+
 const formatVersion = 1
 
 // Flag bits.

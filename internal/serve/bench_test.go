@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"sage/internal/shard"
+)
+
+// benchServer builds a server over a freshly compressed container.
+func benchServer(b *testing.B, cacheBytes int64) *Server {
+	b.Helper()
+	data, _, _ := testContainer(b, 2000, 250)
+	c, err := shard.Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(c, Config{CacheBytes: cacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkShardColdDecode measures the uncached decode path: every
+// iteration rebuilds the server so the requested shard is always cold.
+func BenchmarkShardColdDecode(b *testing.B) {
+	data, _, _ := testContainer(b, 2000, 250)
+	c, err := shard.Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(c, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := s.DecodedShard(i % c.NumShards())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(out)))
+	}
+}
+
+// BenchmarkShardWarmCache measures the cache-hit path.
+func BenchmarkShardWarmCache(b *testing.B) {
+	s := benchServer(b, DefaultCacheBytes)
+	out, err := s.DecodedShard(0) // warm it
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(out)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecodedShard(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardConcurrentClients measures aggregate throughput with
+// parallel clients spread over all shards, cache large enough to hold
+// the working set.
+func BenchmarkShardConcurrentClients(b *testing.B) {
+	s := benchServer(b, DefaultCacheBytes)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.DecodedShard(i % 8); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	if st := s.Stats(); st.Decodes > int64(8) {
+		b.Fatalf("concurrent clients caused %d decodes for 8 shards", st.Decodes)
+	}
+	b.ReportMetric(s.Stats().HitRatio, "hit-ratio")
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a byte-budgeted LRU over decoded shards. The value is the
+// shard's serialized FASTQ text, so accounting is exact: the cache's
+// resident bytes never exceed the budget — entries are evicted from the
+// cold end before an insert, and a value larger than the whole budget is
+// simply not cached.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[int]*list.Element
+}
+
+type cacheEntry struct {
+	key  int
+	data []byte
+}
+
+func newLRUCache(budget int64) *lruCache {
+	return &lruCache{budget: budget, ll: list.New(), items: make(map[int]*list.Element)}
+}
+
+// get returns the cached value for key, promoting it to most recent.
+func (c *lruCache) get(key int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// add inserts key -> data, evicting least-recently-used entries until
+// the budget holds. It returns the number of entries evicted. Values
+// larger than the budget are not cached (evicting everything else for a
+// value that cannot fit would only thrash).
+func (c *lruCache) add(key int, data []byte) (evicted int) {
+	size := int64(len(data))
+	if size > c.budget {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Concurrent decoders can race to insert the same shard; keep
+		// the resident copy and just refresh its recency.
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	for c.bytes+size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.data))
+		evicted++
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += size
+	return evicted
+}
+
+// usage reports resident bytes and entry count.
+func (c *lruCache) usage() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.ll.Len()
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func val(n int) []byte { return bytes.Repeat([]byte{byte(n)}, n) }
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(100)
+	for k := 1; k <= 5; k++ {
+		c.add(k, val(20)) // fills the budget exactly
+	}
+	// A 50-byte insert must evict the three coldest entries (1, 2, 3).
+	if ev := c.add(6, val(50)); ev != 3 {
+		t.Fatalf("add(6, 50B) evicted %d entries, want 3", ev)
+	}
+	for _, k := range []int{1, 2, 3} {
+		if _, ok := c.get(k); ok {
+			t.Fatalf("cold entry %d survived", k)
+		}
+	}
+	for _, k := range []int{4, 5, 6} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("warm entry %d was evicted", k)
+		}
+	}
+	if b, n := c.usage(); b != 90 || n != 3 {
+		t.Fatalf("usage = %d bytes / %d entries, want 90 / 3", b, n)
+	}
+}
+
+func TestLRUEvictsColdEntryOnly(t *testing.T) {
+	c := newLRUCache(100)
+	c.add(1, val(40))
+	c.add(2, val(40))
+	if _, ok := c.get(1); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	ev := c.add(3, val(20)) // 40+40+20 = 100: fits without eviction
+	if ev != 0 {
+		t.Fatalf("add(3, 20B) evicted %d entries", ev)
+	}
+	ev = c.add(4, val(40)) // needs 40: evicts 2 (coldest; 1 was touched)
+	if ev != 1 {
+		t.Fatalf("add(4, 40B) evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("cold entry 2 survived eviction")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used entry 1 was evicted")
+	}
+}
+
+func TestLRUOversizedValueNotCached(t *testing.T) {
+	c := newLRUCache(50)
+	c.add(1, val(30))
+	if ev := c.add(2, val(51)); ev != 0 {
+		t.Fatalf("oversized add evicted %d entries", ev)
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("oversized value was cached")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("oversized add destroyed resident entry")
+	}
+	if b, n := c.usage(); b != 30 || n != 1 {
+		t.Fatalf("usage = %d bytes / %d entries", b, n)
+	}
+}
+
+func TestLRUDuplicateAdd(t *testing.T) {
+	c := newLRUCache(100)
+	c.add(1, val(40))
+	c.add(1, val(40)) // racing decoders insert the same shard twice
+	if b, n := c.usage(); b != 40 || n != 1 {
+		t.Fatalf("duplicate add: usage = %d bytes / %d entries", b, n)
+	}
+}
+
+// TestLRUBudgetInvariant hammers the cache from many goroutines with
+// random keys and sizes; the byte budget must hold at every sample.
+func TestLRUBudgetInvariant(t *testing.T) {
+	const budget = 1000
+	c := newLRUCache(budget)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					c.get(rng.Intn(50))
+				default:
+					c.add(rng.Intn(50), val(rng.Intn(300)))
+				}
+				if b, _ := c.usage(); b > budget {
+					t.Errorf("cache holds %d bytes, budget %d", b, budget)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int32
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	fn := func() ([]byte, error) {
+		if runs.Add(1) == 1 {
+			close(entered)
+			<-block
+		}
+		return []byte("payload"), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 16)
+	shares := make([]bool, 16)
+	wg.Add(1)
+	go func() { // leader: parks inside fn until released
+		defer wg.Done()
+		v, err, shared := g.do(7, fn)
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0], shares[0] = v, shared
+	}()
+	<-entered
+	for n := 1; n < 16; n++ {
+		wg.Add(1)
+		go func(n int) { // joiners arrive while the leader is in flight
+			defer wg.Done()
+			v, err, shared := g.do(7, fn)
+			if err != nil {
+				t.Errorf("joiner %d: %v", n, err)
+			}
+			results[n], shares[n] = v, shared
+		}(n)
+	}
+	// Give the joiners time to park on the in-flight call before the
+	// leader is released; a straggler that misses the flight would run
+	// fn itself and be caught by the exactly-once assertion below.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for n, v := range results {
+		if string(v) != "payload" {
+			t.Fatalf("caller %d got %q", n, v)
+		}
+		if n > 0 && !shares[n] {
+			t.Fatalf("joiner %d did not share the leader's flight", n)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package serve implements SAGe's serving layer: an HTTP daemon that
+// exposes one sharded container (internal/shard) at shard granularity to
+// many concurrent clients. This is the production read path the ROADMAP
+// targets — data preparation as a service, where analysis nodes pull
+// exactly the shards they need instead of downloading and inflating a
+// whole read set (the Fig. 1 bottleneck, multiplied by every consumer).
+//
+// Endpoints:
+//
+//	GET /shards           the container's shard index, as JSON
+//	GET /shard/{i}        shard i's raw compressed block (CRC-verified)
+//	GET /shard/{i}/reads  shard i decoded to FASTQ text
+//	GET /stats            server counters and cache occupancy, as JSON
+//
+// Decoded shards are kept in a byte-budgeted LRU cache. Decodes run on a
+// bounded worker pool shared by all requests, and a singleflight group
+// collapses concurrent requests for the same cold shard into one decode:
+// N clients asking for shard i while it is being decoded all receive the
+// one result. The container is opened via shard.Open, so serving a
+// container costs its index in memory plus the cache budget — never the
+// file.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+	"sage/internal/shard"
+)
+
+// DefaultCacheBytes is the default decoded-shard cache budget.
+const DefaultCacheBytes = 64 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheBytes bounds the decoded-shard cache (<= 0 uses
+	// DefaultCacheBytes). The cache never holds more than this many
+	// bytes of decoded FASTQ.
+	CacheBytes int64
+	// Workers bounds concurrent shard decodes (<= 0 uses GOMAXPROCS).
+	Workers int
+	// Consensus is the fallback consensus for containers written
+	// without an embedded one; ignored otherwise.
+	Consensus genome.Seq
+}
+
+// Server serves one sharded container. It implements http.Handler.
+type Server struct {
+	c     *shard.Container
+	cfg   Config
+	cons  genome.Seq
+	cache *lruCache
+	fl    flightGroup
+	sem   chan struct{}
+	n     counters
+	mux   *http.ServeMux
+}
+
+// New builds a Server for c. It fails fast when the container cannot be
+// decoded at all (no embedded consensus and no fallback in cfg).
+func New(c *shard.Container, cfg Config) (*Server, error) {
+	if c.Consensus == nil && cfg.Consensus == nil {
+		return nil, fmt.Errorf("serve: container has no embedded consensus; Config.Consensus is required")
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		c:     c,
+		cfg:   cfg,
+		cons:  cfg.Consensus,
+		cache: newLRUCache(cfg.CacheBytes),
+		sem:   make(chan struct{}, cfg.Workers),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /shards", s.handleIndex)
+	s.mux.HandleFunc("GET /shard/{i}", s.handleBlock)
+	s.mux.HandleFunc("GET /shard/{i}/reads", s.handleReads)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// fail answers a request with a clean error status. Container-level
+// failures (checksum mismatch, undecodable block) are the server's
+// data's fault, not the client's, and map to 500.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.n.errors.Add(1)
+	http.Error(w, err.Error(), code)
+}
+
+// shardIndex parses and range-checks the {i} path component.
+func (s *Server) shardIndex(w http.ResponseWriter, r *http.Request) (int, bool) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: shard index %q is not an integer", r.PathValue("i")))
+		return 0, false
+	}
+	if i < 0 || i >= s.c.NumShards() {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: shard %d out of range [0,%d)", i, s.c.NumShards()))
+		return 0, false
+	}
+	return i, true
+}
+
+// indexEntry is one /shards row.
+type indexEntry struct {
+	Shard  int    `json:"shard"`
+	Reads  int    `json:"reads"`
+	Offset int64  `json:"offset"`
+	Bytes  int64  `json:"bytes"`
+	CRC32  string `json:"crc32"`
+}
+
+// indexListing is the /shards response.
+type indexListing struct {
+	FormatVersion  int          `json:"format_version"`
+	Reads          int          `json:"reads"`
+	Shards         int          `json:"shards"`
+	ShardReads     int          `json:"shard_reads"`
+	BlockBytes     int64        `json:"block_bytes"`
+	ConsensusBases int          `json:"consensus_bases"`
+	Index          []indexEntry `json:"index"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	s.n.indexReads.Add(1)
+	l := indexListing{
+		FormatVersion:  shard.FormatVersion,
+		Reads:          s.c.Index.TotalReads,
+		Shards:         s.c.NumShards(),
+		ShardReads:     s.c.Index.ShardReads,
+		BlockBytes:     s.c.Index.BlockBytes(),
+		ConsensusBases: len(s.c.Consensus),
+		Index:          make([]indexEntry, 0, s.c.NumShards()),
+	}
+	for i, e := range s.c.Index.Entries {
+		l.Index = append(l.Index, indexEntry{
+			Shard:  i,
+			Reads:  e.ReadCount,
+			Offset: e.Offset,
+			Bytes:  e.Length,
+			CRC32:  fmt.Sprintf("%08x", e.Checksum),
+		})
+	}
+	writeJSON(w, l)
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	i, ok := s.shardIndex(w, r)
+	if !ok {
+		return
+	}
+	blk, err := s.c.Block(i)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.n.blockReads.Add(1)
+	e := s.c.Index.Entries[i]
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sage-Shard-Reads", strconv.Itoa(e.ReadCount))
+	w.Header().Set("X-Sage-Shard-CRC32", fmt.Sprintf("%08x", e.Checksum))
+	w.Write(blk)
+}
+
+func (s *Server) handleReads(w http.ResponseWriter, r *http.Request) {
+	i, ok := s.shardIndex(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.decodedShard(i)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.n.readReqs.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Sage-Shard-Reads", strconv.Itoa(s.c.Index.Entries[i].ReadCount))
+	w.Write(data)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// decodedShard returns shard i as FASTQ text: from the cache when warm,
+// otherwise via exactly one decode on the bounded pool no matter how
+// many requests arrive while it runs.
+func (s *Server) decodedShard(i int) ([]byte, error) {
+	if data, ok := s.cache.get(i); ok {
+		s.n.hits.Add(1)
+		return data, nil
+	}
+	s.n.misses.Add(1)
+	data, err, shared := s.fl.do(i, func() ([]byte, error) {
+		// Re-check under the flight: a caller that missed the cache can
+		// reach here after an earlier flight for the same shard already
+		// completed and cached; leading a second decode would break the
+		// one-decode-per-cold-shard invariant.
+		if data, ok := s.cache.get(i); ok {
+			return data, nil
+		}
+		s.sem <- struct{}{} // bounded decode pool
+		defer func() { <-s.sem }()
+		s.n.decodes.Add(1)
+		rs, err := s.c.DecompressShard(i, s.cons)
+		if err != nil {
+			return nil, err
+		}
+		data := rs.Bytes()
+		s.n.evictions.Add(int64(s.cache.add(i, data)))
+		return data, nil
+	})
+	if shared {
+		s.n.deduped.Add(1)
+	}
+	return data, err
+}
+
+// DecodedShard exposes the cached decode path without HTTP, for
+// in-process consumers (bench, tests).
+func (s *Server) DecodedShard(i int) ([]byte, error) {
+	if i < 0 || i >= s.c.NumShards() {
+		return nil, fmt.Errorf("serve: shard %d out of range [0,%d)", i, s.c.NumShards())
+	}
+	return s.decodedShard(i)
+}
+
+// ReadSet decodes shard i into records via the same cache (the FASTQ
+// text is reparsed; serving workloads want the bytes, not the structs).
+func (s *Server) ReadSet(i int) (*fastq.ReadSet, error) {
+	data, err := s.DecodedShard(i)
+	if err != nil {
+		return nil, err
+	}
+	return fastq.Parse(bytes.NewReader(data))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

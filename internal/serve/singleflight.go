@@ -1,0 +1,44 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent decodes of the same shard: while a
+// decode for key is in flight, later callers wait for its result instead
+// of starting their own. This is the property the ISSUE's race test
+// pins: N clients hitting the same cold shard cost exactly one decode.
+// (A hand-rolled minimum of golang.org/x/sync/singleflight — the repo
+// takes no external dependencies.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[int]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// do invokes fn for key, or joins an in-flight invocation. shared
+// reports whether this caller joined rather than led.
+func (g *flightGroup) do(key int, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[int]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

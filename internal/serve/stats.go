@@ -1,0 +1,66 @@
+package serve
+
+import "sync/atomic"
+
+// counters aggregates the server's lifetime activity with lock-free
+// increments on the request paths.
+type counters struct {
+	indexReads atomic.Int64 // /shards requests served
+	blockReads atomic.Int64 // /shard/{i} raw-block requests served
+	readReqs   atomic.Int64 // /shard/{i}/reads requests served
+	hits       atomic.Int64 // decoded-shard cache hits
+	misses     atomic.Int64 // decoded-shard cache misses
+	decodes    atomic.Int64 // actual decodes performed
+	deduped    atomic.Int64 // misses that joined an in-flight decode
+	evictions  atomic.Int64 // cache entries evicted
+	errors     atomic.Int64 // requests answered with an error status
+}
+
+// Stats is a point-in-time snapshot of the server, as served by /stats.
+type Stats struct {
+	Shards     int   `json:"shards"`
+	Reads      int   `json:"reads"`
+	IndexReads int64 `json:"index_reads"`
+	BlockReads int64 `json:"block_reads"`
+	ReadReqs   int64 `json:"read_requests"`
+	Hits       int64 `json:"cache_hits"`
+	Misses     int64 `json:"cache_misses"`
+	Decodes    int64 `json:"decodes"`
+	Deduped    int64 `json:"deduped_decodes"`
+	Evictions  int64 `json:"evictions"`
+	Errors     int64 `json:"errors"`
+	// HitRatio is hits / (hits + misses), 0 before any reads request.
+	HitRatio float64 `json:"hit_ratio"`
+	// CacheBytes / CacheEntries describe the decoded-shard cache right
+	// now; CacheBudget is its configured byte bound.
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheBudget  int64 `json:"cache_budget"`
+	Workers      int   `json:"decode_workers"`
+}
+
+// Stats snapshots the server's counters and cache occupancy.
+func (s *Server) Stats() Stats {
+	bytes, entries := s.cache.usage()
+	st := Stats{
+		Shards:       s.c.NumShards(),
+		Reads:        s.c.Index.TotalReads,
+		IndexReads:   s.n.indexReads.Load(),
+		BlockReads:   s.n.blockReads.Load(),
+		ReadReqs:     s.n.readReqs.Load(),
+		Hits:         s.n.hits.Load(),
+		Misses:       s.n.misses.Load(),
+		Decodes:      s.n.decodes.Load(),
+		Deduped:      s.n.deduped.Load(),
+		Evictions:    s.n.evictions.Load(),
+		Errors:       s.n.errors.Load(),
+		CacheBytes:   bytes,
+		CacheEntries: entries,
+		CacheBudget:  s.cfg.CacheBytes,
+		Workers:      s.cfg.Workers,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return st
+}

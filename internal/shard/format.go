@@ -33,9 +33,13 @@ package shard
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"runtime"
+	"sync"
 
 	"sage/internal/genome"
 )
@@ -86,14 +90,22 @@ func (ix *Index) BlockBytes() int64 {
 	return n
 }
 
-// Container is a parsed sharded container: header, index, and the raw
-// block section. Blocks are decoded lazily, one shard at a time.
+// Container is a parsed sharded container: header, index, and the block
+// section. Blocks are decoded lazily, one shard at a time. The block
+// section lives either in memory (Parse) or behind an io.ReaderAt
+// (Open), so a served container never has to be resident as a whole.
 type Container struct {
 	Index Index
 	// Consensus is the embedded shared consensus, nil if the container
 	// was written without one.
 	Consensus genome.Seq
-	blocks    []byte
+	// blocks holds the in-memory block section (Parse); nil when the
+	// container was opened lazily.
+	blocks []byte
+	// src and blockBase locate the block section of a lazily opened
+	// container: Block reads src at blockBase+Offset on demand.
+	src       io.ReaderAt
+	blockBase int64
 }
 
 // NumShards returns the shard count.
@@ -155,46 +167,63 @@ func IsContainer(data []byte) bool {
 	return len(data) >= len(Magic) && bytes.Equal(data[:len(Magic)], Magic[:])
 }
 
-// Parse reads the header and index and validates the index against the
-// block section, without decoding any shard.
-func Parse(data []byte) (*Container, error) {
-	rd := bytes.NewReader(data)
+// errShortHeader marks a header parse that ran out of prefix bytes. For
+// Parse (whole container in memory) it means truncation; Open retries
+// with a larger prefix as long as the file has more to give.
+var errShortHeader = errors.New("shard: header extends past available prefix")
+
+// parseHeader decodes magic through headerCRC from a container prefix.
+// totalSize is the full container size (== len(prefix) for Parse),
+// bounding the plausibility checks. On success it returns the container
+// (index and consensus populated, no block source attached) and the
+// header length in bytes.
+func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
+	rd := bytes.NewReader(prefix)
+	short := func(what string, err error) error {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w (reading %s)", errShortHeader, what)
+		}
+		return fmt.Errorf("shard: reading %s: %w", what, err)
+	}
 	var m [4]byte
-	if _, err := io.ReadFull(rd, m[:]); err != nil || m != Magic {
-		return nil, fmt.Errorf("shard: bad magic %q", m[:])
+	if _, err := io.ReadFull(rd, m[:]); err != nil {
+		return nil, 0, short("magic", err)
+	}
+	if m != Magic {
+		return nil, 0, fmt.Errorf("shard: bad magic %q", m[:])
 	}
 	ver, err := rd.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, 0, short("version", err)
 	}
 	if ver != FormatVersion {
-		return nil, fmt.Errorf("shard: unsupported version %d", ver)
+		return nil, 0, fmt.Errorf("shard: unsupported version %d", ver)
 	}
 	flags, err := rd.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, 0, short("flags", err)
 	}
 	ru := func(what string) (int, error) {
 		v, err := binary.ReadUvarint(rd)
 		if err != nil {
-			return 0, fmt.Errorf("shard: reading %s: %w", what, err)
+			return 0, short(what, err)
 		}
-		if v > uint64(len(data))*8 {
-			return 0, fmt.Errorf("shard: implausible %s %d for a %d-byte container", what, v, len(data))
+		if v > uint64(totalSize)*8 {
+			return 0, fmt.Errorf("shard: implausible %s %d for a %d-byte container", what, v, totalSize)
 		}
 		return int(v), nil
 	}
 	c := &Container{}
 	if c.Index.TotalReads, err = ru("total read count"); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if c.Index.ShardReads, err = ru("shard size"); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if flags&flagConsensus != 0 {
 		consLen, err := ru("consensus length")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		f := genome.Format2Bit
 		nBytes := (consLen + 3) / 4
@@ -202,22 +231,34 @@ func Parse(data []byte) (*Container, error) {
 			f = genome.Format3Bit
 			nBytes = (consLen*3 + 7) / 8
 		}
+		// Bound the allocation by what can actually follow: first by the
+		// container (a corrupt length varint must not drive a giant
+		// make), then by the prefix (more prefix may exist — retry).
+		if int64(nBytes) > totalSize {
+			return nil, 0, fmt.Errorf("shard: consensus (%d bytes) exceeds the %d-byte container", nBytes, totalSize)
+		}
 		if nBytes > rd.Len() {
-			return nil, fmt.Errorf("shard: consensus (%d bytes) exceeds remaining input (%d)", nBytes, rd.Len())
+			return nil, 0, short("consensus", io.ErrUnexpectedEOF)
 		}
 		packed := make([]byte, nBytes)
 		if _, err := io.ReadFull(rd, packed); err != nil {
-			return nil, fmt.Errorf("shard: reading consensus: %w", err)
+			return nil, 0, short("consensus", err)
 		}
 		cons, err := genome.Decode(packed, consLen, f)
 		if err != nil {
-			return nil, fmt.Errorf("shard: unpacking consensus: %w", err)
+			return nil, 0, fmt.Errorf("shard: unpacking consensus: %w", err)
 		}
 		c.Consensus = cons
 	}
 	nShards, err := ru("shard count")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	// Each index entry occupies at least 7 bytes (three varints plus a
+	// fixed u32 checksum), so a shard count the header cannot physically
+	// hold is corruption, not a short prefix.
+	if int64(nShards) > totalSize/7 {
+		return nil, 0, fmt.Errorf("shard: implausible shard count %d for a %d-byte container", nShards, totalSize)
 	}
 	c.Index.Entries = make([]Entry, nShards)
 	reads := 0
@@ -225,54 +266,150 @@ func Parse(data []byte) (*Container, error) {
 	for i := range c.Index.Entries {
 		e := &c.Index.Entries[i]
 		if e.ReadCount, err = ru(fmt.Sprintf("shard %d read count", i)); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		off, err := ru(fmt.Sprintf("shard %d offset", i))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		length, err := ru(fmt.Sprintf("shard %d length", i))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		e.Offset, e.Length = int64(off), int64(length)
 		if e.Offset != next {
-			return nil, fmt.Errorf("shard: shard %d offset %d is not contiguous (want %d)", i, e.Offset, next)
+			return nil, 0, fmt.Errorf("shard: shard %d offset %d is not contiguous (want %d)", i, e.Offset, next)
 		}
 		next += e.Length
 		reads += e.ReadCount
 		var cs [4]byte
 		if _, err := io.ReadFull(rd, cs[:]); err != nil {
-			return nil, fmt.Errorf("shard: reading shard %d checksum: %w", i, err)
+			return nil, 0, short(fmt.Sprintf("shard %d checksum", i), err)
 		}
 		e.Checksum = binary.LittleEndian.Uint32(cs[:])
 	}
 	if reads != c.Index.TotalReads {
-		return nil, fmt.Errorf("shard: index lists %d reads but header claims %d", reads, c.Index.TotalReads)
+		return nil, 0, fmt.Errorf("shard: index lists %d reads but header claims %d", reads, c.Index.TotalReads)
 	}
 	var hc [4]byte
 	if _, err := io.ReadFull(rd, hc[:]); err != nil {
-		return nil, fmt.Errorf("shard: reading header checksum: %w", err)
+		return nil, 0, short("header checksum", err)
 	}
-	hdrLen := len(data) - rd.Len() - len(hc)
-	if got := crc32.ChecksumIEEE(data[:hdrLen]); got != binary.LittleEndian.Uint32(hc[:]) {
-		return nil, fmt.Errorf("shard: header checksum mismatch: got %08x, container says %08x",
+	hdrLen := len(prefix) - rd.Len()
+	if got := crc32.ChecksumIEEE(prefix[:hdrLen-len(hc)]); got != binary.LittleEndian.Uint32(hc[:]) {
+		return nil, 0, fmt.Errorf("shard: header checksum mismatch: got %08x, container says %08x",
 			got, binary.LittleEndian.Uint32(hc[:]))
 	}
-	c.blocks = data[len(data)-rd.Len():]
-	if int64(len(c.blocks)) != next {
-		return nil, fmt.Errorf("shard: block section is %d bytes, index describes %d", len(c.blocks), next)
+	return c, hdrLen, nil
+}
+
+// Parse reads the header and index and validates the index against the
+// block section, without decoding any shard. The returned container
+// keeps the block section in memory; use Open to serve a container
+// without loading it whole.
+func Parse(data []byte) (*Container, error) {
+	c, hdrLen, err := parseHeader(data, int64(len(data)))
+	if err != nil {
+		if errors.Is(err, errShortHeader) {
+			return nil, fmt.Errorf("shard: truncated container: %w", err)
+		}
+		return nil, err
+	}
+	c.blocks = data[hdrLen:]
+	if int64(len(c.blocks)) != c.Index.BlockBytes() {
+		return nil, fmt.Errorf("shard: block section is %d bytes, index describes %d",
+			len(c.blocks), c.Index.BlockBytes())
 	}
 	return c, nil
 }
 
+// openChunk is the initial prefix Open reads while hunting for the end
+// of the header; it doubles until the header (consensus included) fits.
+const openChunk = 64 << 10
+
+// maxHeaderBytes caps the prefix Open is willing to grow to. A real
+// header is the index plus one packed consensus (a 3 Gbase genome packs
+// to ~750 MB), so 1 GiB covers legitimate containers while a corrupted
+// consensus-length varint in a huge container cannot drive Open into
+// reading — and holding — the whole file.
+const maxHeaderBytes = 1 << 30
+
+// Open parses the header and index of a container held behind r without
+// reading the block section: only a header-sized prefix is fetched, and
+// Block/DecompressShard later read single shards on demand. This is the
+// serving-layer entry point — a multi-terabyte container costs only its
+// index in memory.
+func Open(r io.ReaderAt, size int64) (*Container, error) {
+	chunk := int64(openChunk)
+	for {
+		if chunk > size {
+			chunk = size
+		}
+		prefix := make([]byte, chunk)
+		if _, err := io.ReadFull(io.NewSectionReader(r, 0, chunk), prefix); err != nil {
+			return nil, fmt.Errorf("shard: reading container prefix: %w", err)
+		}
+		c, hdrLen, err := parseHeader(prefix, size)
+		if errors.Is(err, errShortHeader) && chunk < size {
+			if chunk >= maxHeaderBytes {
+				return nil, fmt.Errorf("shard: header exceeds %d bytes (corrupt length field?): %w", maxHeaderBytes, err)
+			}
+			chunk *= 2
+			continue
+		}
+		if err != nil {
+			if errors.Is(err, errShortHeader) {
+				return nil, fmt.Errorf("shard: truncated container: %w", err)
+			}
+			return nil, err
+		}
+		if size-int64(hdrLen) != c.Index.BlockBytes() {
+			return nil, fmt.Errorf("shard: block section is %d bytes, index describes %d",
+				size-int64(hdrLen), c.Index.BlockBytes())
+		}
+		c.src = r
+		c.blockBase = int64(hdrLen)
+		return c, nil
+	}
+}
+
+// OpenFile opens path as a lazy container. The caller owns the returned
+// file and must keep it open for the container's lifetime.
+func OpenFile(path string) (*Container, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	c, err := Open(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return c, f, nil
+}
+
 // Block returns shard i's raw SAGe block after verifying its checksum.
+// On a lazily opened container this is the only read the shard costs:
+// one ReadAt of exactly the block's bytes.
 func (c *Container) Block(i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Index.Entries) {
 		return nil, fmt.Errorf("shard: block %d out of range [0,%d)", i, len(c.Index.Entries))
 	}
 	e := c.Index.Entries[i]
-	b := c.blocks[e.Offset : e.Offset+e.Length]
+	var b []byte
+	if c.src != nil {
+		b = make([]byte, e.Length)
+		if _, err := c.src.ReadAt(b, c.blockBase+e.Offset); err != nil {
+			return nil, fmt.Errorf("shard: reading block %d: %w", i, err)
+		}
+	} else {
+		b = c.blocks[e.Offset : e.Offset+e.Length]
+	}
 	if got := crc32.ChecksumIEEE(b); got != e.Checksum {
 		return nil, fmt.Errorf("shard: block %d checksum mismatch: got %08x, index says %08x", i, got, e.Checksum)
 	}
@@ -280,20 +417,94 @@ func (c *Container) Block(i int) ([]byte, error) {
 }
 
 // Inspect renders a human-readable summary of a sharded container: the
-// header, the shared consensus, and the full shard index.
-func Inspect(data []byte) (string, error) {
+// header, the shared consensus, and the full shard index with per-shard
+// compressed-bytes-per-read and compression-ratio columns plus a totals
+// row. Computing a shard's ratio requires its uncompressed size, so
+// Inspect decodes the shards (concurrently, on all CPUs — the same work
+// `sage decompress` would do); cons is the fallback consensus for
+// containers written without an embedded one. Shards that cannot be
+// decoded — corrupt, or no consensus available — show "-" and are
+// flagged instead of failing the whole summary.
+func Inspect(data []byte, cons genome.Seq) (string, error) {
 	c, err := Parse(data)
 	if err != nil {
 		return "", err
 	}
+	rawSizes, decodeErrs := inspectSizes(c, cons)
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "SAGe sharded container v%d, %d bytes (%d header+index, %d blocks)\n",
 		FormatVersion, len(data), int64(len(data))-c.Index.BlockBytes(), c.Index.BlockBytes())
 	fmt.Fprintf(&b, "reads: %d in %d shards (target %d reads/shard); consensus: %d bases (embedded: %v)\n",
 		c.Index.TotalReads, c.NumShards(), c.Index.ShardReads, len(c.Consensus), c.Consensus != nil)
-	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s\n", "shard", "reads", "offset", "bytes", "crc32")
+	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s  %7s  %7s\n",
+		"shard", "reads", "offset", "bytes", "crc32", "B/read", "ratio")
+	perRead := func(n int64, reads int) string {
+		if reads == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(n)/float64(reads))
+	}
+	var rawTotal int64
+	rawKnown := true
+	var bad []string
 	for i, e := range c.Index.Entries {
-		fmt.Fprintf(&b, "%6d  %8d  %10d  %10d  %08x\n", i, e.ReadCount, e.Offset, e.Length, e.Checksum)
+		ratio := "-"
+		if decodeErrs[i] != nil {
+			rawKnown = false
+			bad = append(bad, fmt.Sprintf("shard %d: %v", i, decodeErrs[i]))
+		} else {
+			rawTotal += rawSizes[i]
+			if e.Length > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(rawSizes[i])/float64(e.Length))
+			}
+		}
+		fmt.Fprintf(&b, "%6d  %8d  %10d  %10d  %08x  %7s  %7s\n",
+			i, e.ReadCount, e.Offset, e.Length, e.Checksum,
+			perRead(e.Length, e.ReadCount), ratio)
+	}
+	totalRatio := "-"
+	if rawKnown && c.Index.BlockBytes() > 0 {
+		totalRatio = fmt.Sprintf("%.2fx", float64(rawTotal)/float64(c.Index.BlockBytes()))
+	}
+	fmt.Fprintf(&b, "%6s  %8d  %10s  %10d  %8s  %7s  %7s\n",
+		"total", c.Index.TotalReads, "", c.Index.BlockBytes(), "",
+		perRead(c.Index.BlockBytes(), c.Index.TotalReads), totalRatio)
+	for _, msg := range bad {
+		fmt.Fprintf(&b, "! undecodable: %s\n", msg)
 	}
 	return b.String(), nil
+}
+
+// inspectSizes decodes every shard on a worker pool and returns the
+// per-shard uncompressed FASTQ sizes (or errors).
+func inspectSizes(c *Container, cons genome.Seq) ([]int64, []error) {
+	n := c.NumShards()
+	rawSizes := make([]int64, n)
+	decodeErrs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rs, err := c.DecompressShard(i, cons)
+				if err != nil {
+					decodeErrs[i] = err
+					continue
+				}
+				rawSizes[i] = int64(rs.UncompressedSize())
+			}
+		}()
+	}
+	wg.Wait()
+	return rawSizes, decodeErrs
 }

@@ -297,13 +297,50 @@ func TestInspect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Inspect(data)
+	info, err := Inspect(data, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"sharded container", "100", "3 shards", "crc32"} {
+	for _, want := range []string{"sharded container", "100", "3 shards", "crc32", "B/read", "ratio", "total"} {
 		if !strings.Contains(info, want) {
 			t.Fatalf("Inspect output missing %q:\n%s", want, info)
 		}
+	}
+	if strings.Contains(info, "undecodable") {
+		t.Fatalf("Inspect flagged a healthy container:\n%s", info)
+	}
+	// The totals row and every shard row carry a computed ratio; a
+	// container of short reads compresses, so ratios exceed 1x.
+	if n := strings.Count(info, "x\n"); n != 4 { // 3 shards + totals
+		t.Fatalf("Inspect shows %d ratio cells, want 4:\n%s", n, info)
+	}
+}
+
+// TestInspectNoConsensus checks that a container without an embedded
+// consensus still renders: ratio columns degrade to "-" instead of the
+// whole summary failing.
+func TestInspectNoConsensus(t *testing.T) {
+	rs, ref := testSet(t, 60)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 30
+	opt.Core.EmbedConsensus = false
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "undecodable") || !strings.Contains(info, "embedded: false") {
+		t.Fatalf("Inspect of consensus-free container:\n%s", info)
+	}
+	// With the fallback consensus (sage inspect -ref) the ratios come back.
+	info, err = Inspect(data, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(info, "undecodable") || strings.Count(info, "x\n") != 3 { // 2 shards + totals
+		t.Fatalf("Inspect with fallback consensus:\n%s", info)
 	}
 }
