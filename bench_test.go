@@ -74,6 +74,11 @@ func BenchmarkFig18_CompressionTime(b *testing.B)   { runExperiment(b, "fig18") 
 // internal/shard's own benchmarks).
 func BenchmarkShardScaling(b *testing.B) { runExperiment(b, "shard") }
 
+// BenchmarkIngest reports multi-file ingest throughput vs input file
+// count, with file-aware shard boundaries and a paired-end R1/R2 row
+// (see internal/bench/ingest.go).
+func BenchmarkIngest(b *testing.B) { runExperiment(b, "ingest") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

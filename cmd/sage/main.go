@@ -1,7 +1,9 @@
 // Command sage is the command-line front end of the SAGe codec:
 //
 //	sage simulate   generate a synthetic read set (+ reference)
-//	sage compress   FASTQ -> .sage container
+//	sage compress   FASTQ file(s) -> one .sage container; many inputs
+//	                (lane splits, or -paired R1/R2 mates) become a single
+//	                sharded container with a source manifest
 //	sage decompress .sage container -> FASTQ
 //	sage inspect    show a container's streams, tables and statistics
 //	sage verify     check two FASTQ files describe the same read multiset
@@ -12,7 +14,8 @@
 // string derived from the reads").
 //
 // Exit codes: 0 on success, 1 on runtime failure, 2 on a usage error
-// (unknown command, bad flag, negative -threads, trailing arguments).
+// (unknown command, bad flag, negative -threads, trailing arguments on
+// commands that take none — compress consumes them as input files).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"math/rand"
@@ -88,6 +92,20 @@ func isUsageError(err error) bool {
 // usage errors reported once through main (the FlagSets use
 // ContinueOnError with discarded output so flag doesn't double-print).
 func parseFlags(fs *flag.FlagSet, args []string) error {
+	rest, err := parseFlagsArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(rest) > 0 {
+		return usagef("%s: unexpected arguments %q", fs.Name(), rest)
+	}
+	return nil
+}
+
+// parseFlagsArgs is parseFlags for subcommands that consume positional
+// arguments (compress takes its input files that way); it returns them
+// instead of rejecting them.
+func parseFlagsArgs(fs *flag.FlagSet, args []string) ([]string, error) {
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,12 +114,9 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 			fs.PrintDefaults()
 			os.Exit(0)
 		}
-		return usageError{fmt.Errorf("%s: %w", fs.Name(), err)}
+		return nil, usageError{fmt.Errorf("%s: %w", fs.Name(), err)}
 	}
-	if fs.NArg() > 0 {
-		return usagef("%s: unexpected arguments %q", fs.Name(), fs.Args())
-	}
-	return nil
+	return fs.Args(), nil
 }
 
 // checkThreads rejects negative worker counts (0 means "all CPUs").
@@ -117,8 +132,9 @@ func usage() {
 
 commands:
   simulate    -out reads.fastq -ref ref.txt [-long] [-genome 200000] [-reads 2000] [-seed 1]
-  compress    -in reads.fastq -out reads.sage (-ref ref.txt | -denovo) [-no-quality] [-no-headers]
-              [-shard-reads 4096] [-threads N]
+  compress    [flags] input.fastq [input2.fastq ...]   (or -in reads.fastq)
+              -out reads.sage (-ref ref.txt | -denovo) [-paired] [-no-quality]
+              [-no-headers] [-shard-reads 4096] [-threads N]
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
   inspect     -in reads.sage [-ref ref.txt]
   verify      -a a.fastq -b b.fastq
@@ -130,11 +146,22 @@ and decompressed in parallel on -threads workers (0 = all CPUs). With
 -ref, sharded compression streams the input file batch by batch instead
 of loading it whole.
 
+compress accepts many inputs (lane splits) and packs them all into ONE
+sharded container with file-aware shard boundaries — no shard spans two
+source files — and a per-shard source manifest (container format v3,
+docs/FORMAT.md). With -paired, inputs are R1 R2 mate files taken
+pairwise: records are interleaved mate by mate, mate names are
+validated, and both mates always land in the same shard. Multi-file
+ingest streams and therefore needs -ref. Example:
+
+  sage compress -paired -ref ref.txt -out run.sage lane1_R1.fq lane1_R2.fq lane2_R1.fq lane2_R2.fq
+
 serve opens a sharded container lazily (only the index is resident) and
-serves it to concurrent clients: GET /shards (index), /shard/{i} (raw
-block), /shard/{i}/reads (decoded FASTQ), /stats. Decoded shards are
-cached in an LRU bounded by -cache-bytes; concurrent requests for the
-same cold shard are collapsed into one decode on a -threads worker pool.
+serves it to concurrent clients: GET /shards (index + manifest),
+/shard/{i} (raw block), /shard/{i}/reads (decoded FASTQ), /files and
+/file/{name}/shards (per-source attribution), /stats. Decoded shards
+are cached in an LRU bounded by -cache-bytes; concurrent requests for
+the same cold shard are collapsed into one decode on a -threads pool.
 
 exit codes: 0 success, 1 runtime failure, 2 usage error.`)
 }
@@ -170,17 +197,43 @@ func cmdSimulate(args []string) error {
 	return nil
 }
 
+// writeContainer streams a container produced by write into out via a
+// temp file renamed in, so a failed run never clobbers an existing
+// output.
+func writeContainer(out string, write func(w io.Writer) (*shard.Stats, error)) (*shard.Stats, error) {
+	of, err := os.Create(out + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	st, err := write(of)
+	if err == nil {
+		err = of.Close()
+	} else {
+		of.Close()
+	}
+	if err != nil {
+		os.Remove(out + ".tmp")
+		return nil, err
+	}
+	if err := os.Rename(out+".tmp", out); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
-	in := fs.String("in", "", "input FASTQ")
-	out := fs.String("out", "", "output container (default: <in>.sage)")
+	in := fs.String("in", "", "input FASTQ (alternative to positional inputs)")
+	out := fs.String("out", "", "output container (default: <first input>.sage)")
 	refPath := fs.String("ref", "", "consensus/reference sequence file")
 	denovo := fs.Bool("denovo", false, "derive the consensus from the reads (de Bruijn assembly)")
+	paired := fs.Bool("paired", false, "treat inputs as paired-end R1 R2 [R1 R2 ...] mate files, interleaved pairwise")
 	noQual := fs.Bool("no-quality", false, "discard quality scores")
 	noHdr := fs.Bool("no-headers", false, "discard read names")
 	shardReads := fs.Int("shard-reads", shard.DefaultShardReads, "reads per shard (0 = single-block container)")
 	threads := fs.Int("threads", 0, "compression workers (0 = all CPUs)")
-	if err := parseFlags(fs, args); err != nil {
+	inputs, err := parseFlagsArgs(fs, args)
+	if err != nil {
 		return err
 	}
 	if err := checkThreads("compress", *threads); err != nil {
@@ -189,11 +242,22 @@ func cmdCompress(args []string) error {
 	if *shardReads < 0 {
 		return usagef("compress: -shard-reads must be >= 0 (0 = single block), got %d", *shardReads)
 	}
-	if *in == "" {
-		return usagef("compress: -in is required")
+	// Inputs come positionally (possibly many) or via the classic -in
+	// (exactly one) — never both, and never silently dropped.
+	if *in != "" {
+		if len(inputs) > 0 {
+			return usagef("compress: pass inputs either via -in or as arguments, not both (-in %s plus %q)", *in, inputs)
+		}
+		inputs = []string{*in}
+	}
+	if len(inputs) == 0 {
+		return usagef("compress: at least one input FASTQ is required (-in file, or positional arguments)")
+	}
+	if *paired && len(inputs)%2 != 0 {
+		return usagef("compress: -paired needs an even number of inputs (R1 R2 [R1 R2 ...]), got %d", len(inputs))
 	}
 	if *out == "" {
-		*out = *in + ".sage"
+		*out = inputs[0] + ".sage"
 	}
 
 	shardOpt := func(cons genome.Seq) shard.Options {
@@ -205,10 +269,15 @@ func cmdCompress(args []string) error {
 		return opt
 	}
 
+	// Multi-file (or paired-end) ingest: all inputs stream into one
+	// sharded container with file-aware shard boundaries and a source
+	// manifest (container format v3, see docs/FORMAT.md).
+	if *paired || len(inputs) > 1 {
+		return compressSources(inputs, *out, *refPath, *paired, *denovo, *shardReads, shardOpt)
+	}
+
 	// Sharded compression against a reference streams the input file:
-	// the whole read set is never in memory at once. The container is
-	// streamed to a temp file and renamed in, so a failed run never
-	// clobbers an existing output.
+	// the whole read set is never in memory at once.
 	if *shardReads > 0 && !*denovo {
 		if *refPath == "" {
 			return fmt.Errorf("compress: pass -ref or -denovo")
@@ -218,26 +287,15 @@ func cmdCompress(args []string) error {
 			return err
 		}
 		opt := shardOpt(cons)
-		f, err := os.Open(*in)
+		f, err := os.Open(inputs[0])
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		of, err := os.Create(*out + ".tmp")
+		st, err := writeContainer(*out, func(w io.Writer) (*shard.Stats, error) {
+			return shard.CompressStream(fastq.NewBatchReader(f, opt.ShardReads), w, opt)
+		})
 		if err != nil {
-			return err
-		}
-		st, err := shard.CompressStream(fastq.NewBatchReader(f, opt.ShardReads), of, opt)
-		if err == nil {
-			err = of.Close()
-		} else {
-			of.Close()
-		}
-		if err != nil {
-			os.Remove(*out + ".tmp")
-			return err
-		}
-		if err := os.Rename(*out+".tmp", *out); err != nil {
 			return err
 		}
 		fmt.Printf("%s: %d bytes in %d shards (%d reads, %d B header+index)\n",
@@ -245,7 +303,7 @@ func cmdCompress(args []string) error {
 		return nil
 	}
 
-	rs, err := readFASTQ(*in)
+	rs, err := readFASTQ(inputs[0])
 	if err != nil {
 		return err
 	}
@@ -293,6 +351,90 @@ func cmdCompress(args []string) error {
 	fmt.Printf("%s: %d -> %d bytes (%.2fx); %d/%d reads mapped, %d chimeric, %d corner\n",
 		*out, raw, len(enc.Data), float64(raw)/float64(len(enc.Data)),
 		enc.Stats.NumMapped, enc.Stats.NumReads, enc.Stats.NumChimeric, enc.Stats.NumCorner)
+	return nil
+}
+
+// compressSources runs multi-file (optionally paired-end) ingest: it
+// opens every input, builds the file-aware batching reader, and streams
+// one manifest-bearing container.
+func compressSources(inputs []string, out, refPath string, paired, denovo bool, shardReads int,
+	shardOpt func(genome.Seq) shard.Options) error {
+	if shardReads <= 0 {
+		return usagef("compress: multi-file ingest writes a sharded container; -shard-reads must be > 0")
+	}
+	if denovo {
+		return fmt.Errorf("compress: multi-file ingest streams its inputs and needs -ref (-denovo would require the whole read set in memory)")
+	}
+	if refPath == "" {
+		return fmt.Errorf("compress: multi-file ingest needs -ref")
+	}
+	cons, err := readRef(refPath)
+	if err != nil {
+		return err
+	}
+	opt := shardOpt(cons)
+
+	files := make([]*os.File, 0, len(inputs))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	// Manifest names are base names: the container travels, local
+	// directory layouts don't. That makes duplicates ambiguous — the
+	// manifest and /file/{name}/shards could no longer tell the inputs
+	// apart — so reject them up front.
+	seen := make(map[string]string, len(inputs))
+	for _, path := range inputs {
+		base := filepath.Base(path)
+		if prev, dup := seen[base]; dup {
+			return usagef("compress: inputs %s and %s would both be recorded as %q in the source manifest; rename one", prev, path, base)
+		}
+		seen[base] = path
+	}
+	var mr *fastq.MultiReader
+	if paired {
+		pairs := make([][2]fastq.NamedReader, 0, len(files)/2)
+		for i := 0; i+1 < len(files); i += 2 {
+			pairs = append(pairs, [2]fastq.NamedReader{
+				{Name: filepath.Base(inputs[i]), R: files[i]},
+				{Name: filepath.Base(inputs[i+1]), R: files[i+1]},
+			})
+		}
+		mr, err = fastq.NewPairedReader(pairs, opt.ShardReads)
+	} else {
+		named := make([]fastq.NamedReader, 0, len(files))
+		for i, f := range files {
+			named = append(named, fastq.NamedReader{Name: filepath.Base(inputs[i]), R: f})
+		}
+		mr, err = fastq.NewMultiReader(named, opt.ShardReads)
+	}
+	if err != nil {
+		return err
+	}
+	st, err := writeContainer(out, func(w io.Writer) (*shard.Stats, error) {
+		return shard.CompressSources(mr, w, opt)
+	})
+	if err != nil {
+		return err
+	}
+	mode := "files"
+	if paired {
+		mode = "paired-end mate files"
+	}
+	fmt.Printf("%s: %d bytes in %d shards (%d reads from %d %s, %d B header+index)\n",
+		out, st.CompressedBytes, st.Shards, st.Reads, len(inputs), mode, st.HeaderBytes)
+	srcs, perSrc := mr.Sources(), mr.SourceReads()
+	for i, s := range srcs {
+		fmt.Printf("  %s: %d reads\n", s.Display(), perSrc[i])
+	}
 	return nil
 }
 
@@ -452,7 +594,7 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("serving %s on %s: %d reads in %d shards (%d B blocks), cache budget %d B\n",
 		*in, *addr, c.Index.TotalReads, c.NumShards(), c.Index.BlockBytes(), *cacheBytes)
-	fmt.Printf("endpoints: /shards /shard/{i} /shard/{i}/reads /stats\n")
+	fmt.Printf("endpoints: /shards /shard/{i} /shard/{i}/reads /files /file/{name}/shards /stats\n")
 	return http.ListenAndServe(*addr, s)
 }
 

@@ -681,6 +681,7 @@ func (s *Suite) experimentList() []struct {
 		{"fig18", s.Fig18},
 		{"shard", s.ShardScaling},
 		{"serve", s.ServeExperiment},
+		{"ingest", s.IngestExperiment},
 	}
 }
 

@@ -7,6 +7,16 @@
 // SAGe treats a file of records as a read set: an unordered multiset whose
 // reads may be reordered during compression as long as bases, qualities,
 // and headers stay associated (§5.1.3, §5.1.5).
+//
+// Three layers of reading are provided:
+//
+//   - Scanner / Parse: one record (or a whole file) at a time.
+//   - BatchReader: a single stream grouped into fixed-size Batches, the
+//     shard-sized work units of the parallel compression pipeline.
+//   - MultiReader: many input files — lane splits, or interleaved R1/R2
+//     paired-end mates with mate-name validation — batched so that no
+//     batch spans two sources (the substrate of file-aware sharding,
+//     see internal/shard.CompressSources).
 package fastq
 
 import (
@@ -209,7 +219,11 @@ func recordKeys(rs *ReadSet) []string {
 // Batch groups records for pipelined processing (§3.1: I/O, decompression
 // and analysis operate on batches in a pipelined manner).
 type Batch struct {
-	Index   int
+	// Index is the batch's global sequence number.
+	Index int
+	// Source is the index of the ingest source the records came from
+	// (see MultiReader.Sources); 0 for single-source readers.
+	Source  int
 	Records []Record
 }
 

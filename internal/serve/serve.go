@@ -7,10 +7,18 @@
 //
 // Endpoints:
 //
-//	GET /shards           the container's shard index, as JSON
-//	GET /shard/{i}        shard i's raw compressed block (CRC-verified)
-//	GET /shard/{i}/reads  shard i decoded to FASTQ text
-//	GET /stats            server counters and cache occupancy, as JSON
+//	GET /shards               the shard index (+ source manifest), as JSON
+//	GET /shard/{i}            shard i's raw compressed block (CRC-verified)
+//	GET /shard/{i}/reads      shard i decoded to FASTQ text
+//	GET /files                the source-file manifest with per-file totals
+//	GET /file/{name}/shards   the shards ingested from one source file
+//	GET /stats                server counters and cache occupancy, as JSON
+//
+// The /files endpoints exist for containers written by multi-file
+// ingest (shard.CompressSources, container format v3): every shard is
+// attributed to the input file — or R1/R2 mate pair — it came from, so
+// an analysis client can pull exactly one lane's or one sample's shards.
+// Containers without a manifest answer 404 there.
 //
 // Decoded shards are kept in a byte-budgeted LRU cache. Decodes run on a
 // bounded worker pool shared by all requests, and a singleflight group
@@ -85,6 +93,8 @@ func New(c *shard.Container, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /shards", s.handleIndex)
 	s.mux.HandleFunc("GET /shard/{i}", s.handleBlock)
 	s.mux.HandleFunc("GET /shard/{i}/reads", s.handleReads)
+	s.mux.HandleFunc("GET /files", s.handleFiles)
+	s.mux.HandleFunc("GET /file/{name}/shards", s.handleFileShards)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
 }
@@ -115,13 +125,27 @@ func (s *Server) shardIndex(w http.ResponseWriter, r *http.Request) (int, bool) 
 	return i, true
 }
 
-// indexEntry is one /shards row.
+// indexEntry is one /shards row. File names the shard's source (from
+// the container's manifest) and is empty for legacy manifest-less
+// containers.
 type indexEntry struct {
 	Shard  int    `json:"shard"`
 	Reads  int    `json:"reads"`
 	Offset int64  `json:"offset"`
 	Bytes  int64  `json:"bytes"`
 	CRC32  string `json:"crc32"`
+	File   string `json:"file,omitempty"`
+}
+
+// fileEntry is one source-manifest row, as served by /shards and
+// /files: an input file (or R1/R2 mate pair) with its per-file totals.
+type fileEntry struct {
+	File   string `json:"file"` // display name ("r1" or "r1+r2")
+	Name   string `json:"name"`
+	Mate   string `json:"mate,omitempty"`
+	Reads  int    `json:"reads"`
+	Shards int    `json:"shards"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // indexListing is the /shards response.
@@ -132,28 +156,111 @@ type indexListing struct {
 	ShardReads     int          `json:"shard_reads"`
 	BlockBytes     int64        `json:"block_bytes"`
 	ConsensusBases int          `json:"consensus_bases"`
+	Files          []fileEntry  `json:"files,omitempty"`
 	Index          []indexEntry `json:"index"`
+}
+
+// fileEntries builds the manifest rows with per-file shard and byte
+// totals; nil for manifest-less containers.
+func (s *Server) fileEntries() []fileEntry {
+	srcs := s.c.Index.Sources
+	if len(srcs) == 0 {
+		return nil
+	}
+	shards, bytesPer := s.c.Index.SourceShards(), s.c.Index.SourceBytes()
+	out := make([]fileEntry, len(srcs))
+	for i, src := range srcs {
+		out[i] = fileEntry{
+			File:   src.Display(),
+			Name:   src.Name,
+			Mate:   src.Mate,
+			Reads:  src.Reads,
+			Shards: shards[i],
+			Bytes:  bytesPer[i],
+		}
+	}
+	return out
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.n.indexReads.Add(1)
 	l := indexListing{
-		FormatVersion:  shard.FormatVersion,
+		FormatVersion:  s.c.Version,
 		Reads:          s.c.Index.TotalReads,
 		Shards:         s.c.NumShards(),
 		ShardReads:     s.c.Index.ShardReads,
 		BlockBytes:     s.c.Index.BlockBytes(),
 		ConsensusBases: len(s.c.Consensus),
+		Files:          s.fileEntries(),
 		Index:          make([]indexEntry, 0, s.c.NumShards()),
 	}
 	for i, e := range s.c.Index.Entries {
-		l.Index = append(l.Index, indexEntry{
-			Shard:  i,
-			Reads:  e.ReadCount,
-			Offset: e.Offset,
-			Bytes:  e.Length,
-			CRC32:  fmt.Sprintf("%08x", e.Checksum),
-		})
+		l.Index = append(l.Index, s.entryJSON(i, e))
+	}
+	writeJSON(w, l)
+}
+
+// entryJSON renders one index entry, attributing it to its source file
+// when the container has a manifest.
+func (s *Server) entryJSON(i int, e shard.Entry) indexEntry {
+	out := indexEntry{
+		Shard:  i,
+		Reads:  e.ReadCount,
+		Offset: e.Offset,
+		Bytes:  e.Length,
+		CRC32:  fmt.Sprintf("%08x", e.Checksum),
+	}
+	if len(s.c.Index.Sources) > 0 {
+		out.File = s.c.Index.Sources[e.Source].Display()
+	}
+	return out
+}
+
+// filesListing is the /files response.
+type filesListing struct {
+	Files []fileEntry `json:"files"`
+}
+
+func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
+	files := s.fileEntries()
+	if files == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: container has no source manifest (written before format v3, or from a single stream)"))
+		return
+	}
+	s.n.fileReads.Add(1)
+	writeJSON(w, filesListing{Files: files})
+}
+
+// fileShardsListing is the /file/{name}/shards response.
+type fileShardsListing struct {
+	File  fileEntry    `json:"file"`
+	Index []indexEntry `json:"index"`
+}
+
+func (s *Server) handleFileShards(w http.ResponseWriter, r *http.Request) {
+	files := s.fileEntries()
+	if files == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: container has no source manifest (written before format v3, or from a single stream)"))
+		return
+	}
+	name := r.PathValue("name")
+	src := -1
+	for i, f := range files {
+		if name == f.File || name == f.Name || (f.Mate != "" && name == f.Mate) {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: no source file %q in the manifest", name))
+		return
+	}
+	s.n.fileReads.Add(1)
+	l := fileShardsListing{File: files[src]}
+	for i, e := range s.c.Index.Entries {
+		if e.Source == src {
+			l.Index = append(l.Index, s.entryJSON(i, e))
+		}
 	}
 	writeJSON(w, l)
 }

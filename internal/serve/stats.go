@@ -8,6 +8,7 @@ type counters struct {
 	indexReads atomic.Int64 // /shards requests served
 	blockReads atomic.Int64 // /shard/{i} raw-block requests served
 	readReqs   atomic.Int64 // /shard/{i}/reads requests served
+	fileReads  atomic.Int64 // /files and /file/{name}/shards requests served
 	hits       atomic.Int64 // decoded-shard cache hits
 	misses     atomic.Int64 // decoded-shard cache misses
 	decodes    atomic.Int64 // actual decodes performed
@@ -23,6 +24,7 @@ type Stats struct {
 	IndexReads int64 `json:"index_reads"`
 	BlockReads int64 `json:"block_reads"`
 	ReadReqs   int64 `json:"read_requests"`
+	FileReads  int64 `json:"file_requests"`
 	Hits       int64 `json:"cache_hits"`
 	Misses     int64 `json:"cache_misses"`
 	Decodes    int64 `json:"decodes"`
@@ -48,6 +50,7 @@ func (s *Server) Stats() Stats {
 		IndexReads:   s.n.indexReads.Load(),
 		BlockReads:   s.n.blockReads.Load(),
 		ReadReqs:     s.n.readReqs.Load(),
+		FileReads:    s.n.fileReads.Load(),
 		Hits:         s.n.hits.Load(),
 		Misses:       s.n.misses.Load(),
 		Decodes:      s.n.decodes.Load(),

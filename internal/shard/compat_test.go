@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden containers under testdata/ were written by the pre-v3
+// writer (format version 1) and must stay decodable forever:
+// docs/FORMAT.md's compatibility rule is that a reader accepts every
+// version up to its own. golden_v2.sage is the same container with the
+// version byte set to 2 (and the header CRC fixed up) — versions 1 and
+// 2 share the manifest-less wire layout, and both legacy paths must
+// keep working alongside v3.
+
+func readTestdata(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLegacyContainersDecode proves v1- and v2-era golden containers
+// decode byte-for-byte to their pinned FASTQ under the v3 reader, via
+// both the in-memory (Parse/Decompress) and lazy (Open) paths.
+func TestLegacyContainersDecode(t *testing.T) {
+	wantFASTQ := readTestdata(t, "golden_v1.fastq")
+	for _, tc := range []struct {
+		file    string
+		version int
+	}{
+		{"golden_v1.sage", 1},
+		{"golden_v2.sage", 2},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			data := readTestdata(t, tc.file)
+			c, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Version != tc.version {
+				t.Fatalf("parsed version %d, want %d", c.Version, tc.version)
+			}
+			if len(c.Index.Sources) != 0 {
+				t.Fatalf("legacy container grew a manifest: %+v", c.Index.Sources)
+			}
+			if c.NumShards() != 3 || c.Index.TotalReads != 12 {
+				t.Fatalf("index = %+v", c.Index)
+			}
+			rs, err := Decompress(data, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rs.Bytes(), wantFASTQ) {
+				t.Fatalf("legacy container no longer decodes byte-for-byte:\n got %d bytes\nwant %d bytes",
+					len(rs.Bytes()), len(wantFASTQ))
+			}
+
+			// Lazy path: Open must handle legacy headers the same way.
+			oc, err := Open(bytes.NewReader(data), int64(len(data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oc.Version != tc.version {
+				t.Fatalf("Open parsed version %d, want %d", oc.Version, tc.version)
+			}
+			var got bytes.Buffer
+			for i := 0; i < oc.NumShards(); i++ {
+				srs, err := oc.DecompressShard(i, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Write(srs.Bytes())
+			}
+			if !bytes.Equal(got.Bytes(), wantFASTQ) {
+				t.Fatal("lazily opened legacy container decodes differently")
+			}
+
+			// Legacy containers re-render under Inspect with their own
+			// version number and no source column.
+			info, err := Inspect(data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains([]byte(info), []byte("container v"+string(rune('0'+tc.version)))) {
+				t.Fatalf("Inspect does not report v%d:\n%s", tc.version, info)
+			}
+			if bytes.Contains([]byte(info), []byte("source")) {
+				t.Fatalf("Inspect invented a source column for a legacy container:\n%s", info)
+			}
+		})
+	}
+}
+
+// TestUnsupportedVersion checks versions beyond the reader's are
+// rejected by name, not misparsed.
+func TestUnsupportedVersion(t *testing.T) {
+	data := append([]byte(nil), readTestdata(t, "golden_v1.sage")...)
+	data[4] = FormatVersion + 1
+	_, err := Parse(data)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("unsupported version")) {
+		t.Fatalf("future version parsed: %v", err)
+	}
+	data[4] = 0
+	if _, err := Parse(data); err == nil {
+		t.Fatal("version 0 parsed")
+	}
+}
+
+// TestLegacyGoldenImmutable pins the testdata bytes themselves (by
+// length and header CRC position) so a regeneration that silently
+// rewrites them in the new format is caught.
+func TestLegacyGoldenImmutable(t *testing.T) {
+	v1 := readTestdata(t, "golden_v1.sage")
+	v2 := readTestdata(t, "golden_v2.sage")
+	if v1[4] != 1 || v2[4] != 2 {
+		t.Fatalf("golden version bytes changed: v1=%d v2=%d", v1[4], v2[4])
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("golden containers diverged in size: %d vs %d", len(v1), len(v2))
+	}
+	// They differ only in the version byte and the 4 header-CRC bytes.
+	diff := 0
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 5 {
+		t.Fatalf("golden v1/v2 differ at %d bytes, want 1-5 (version byte + header CRC)", diff)
+	}
+}

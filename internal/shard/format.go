@@ -1,33 +1,6 @@
-// Package shard implements SAGe's sharded container: a read set split
-// into fixed-size batches, each compressed independently as one SAGe
-// block, held together by a seekable per-shard index. Shards are the
-// unit of parallel compression and decompression (this package's worker
-// pools), of pipelined I/O→decompress→analyze execution (§3.1), and —
-// in later PRs — of per-shard in-storage scan units and multi-client
-// serving.
-//
-// Container layout (multi-byte integers are unsigned varints unless
-// noted; checksums are fixed-width little-endian):
-//
-//	magic        "SAGS"
-//	version      u8 (1)
-//	flags        u8 (hasConsensus | consensusHasN<<1)
-//	totalReads   total records across all shards
-//	shardReads   target records per shard (0 = unknown/streaming)
-//	consensusLen (only when hasConsensus)
-//	consensus    (only when hasConsensus) 2-bit packed, or 3-bit packed
-//	             when consensusHasN
-//	shardCount
-//	index        shardCount × (readCount, offset, length, checksum u32 LE)
-//	headerCRC    u32 LE, CRC-32/IEEE of every byte above (magic..index)
-//	blocks       concatenated SAGe core containers
-//
-// Offsets are relative to the start of the block section, so the index
-// alone is enough to seek to, verify (CRC-32/IEEE), and decode any
-// single shard without touching the others. The consensus is stored
-// once at the container level and shared by every block (each block is
-// compressed with EmbedConsensus off), so sharding does not multiply
-// the consensus cost.
+// On-disk container format: header marshalling/parsing with version
+// dispatch (see doc.go for the layout outline and docs/FORMAT.md for
+// the normative byte-level specification).
 package shard
 
 import (
@@ -48,8 +21,15 @@ import (
 // single-block container).
 var Magic = [4]byte{'S', 'A', 'G', 'S'}
 
-// FormatVersion is the current container version.
-const FormatVersion = 1
+// FormatVersion is the container version the writer emits. Readers
+// additionally accept the legacy manifest-less versions 1 and 2 (which
+// share one wire layout); see docs/FORMAT.md for the version history
+// and compatibility rules.
+const FormatVersion = 3
+
+// manifestVersion is the first version whose header carries a source
+// manifest and per-shard source fields.
+const manifestVersion = 3
 
 // Flag bits.
 const (
@@ -66,8 +46,33 @@ type Entry struct {
 	Offset int64
 	// Length is the block's byte length.
 	Length int64
+	// Source indexes the container's source manifest (Index.Sources):
+	// the file, or mate pair, every record of the shard came from.
+	// Shard boundaries are file-aware, so one index is always enough.
+	// 0 when the container carries no manifest.
+	Source int
 	// Checksum is the CRC-32 (IEEE) of the block bytes.
 	Checksum uint32
+}
+
+// SourceFile is one entry of the container's source manifest: an input
+// file (or R1/R2 mate pair, ingested interleaved) and the number of
+// records it contributed.
+type SourceFile struct {
+	// Name is the source file name (the R1 file of a pair).
+	Name string
+	// Mate is the R2 file name; empty for single-file sources.
+	Mate string
+	// Reads is the total record count attributed to this source.
+	Reads int
+}
+
+// Display renders the source for humans: "name" or "name+mate".
+func (s SourceFile) Display() string {
+	if s.Mate == "" {
+		return s.Name
+	}
+	return s.Name + "+" + s.Mate
 }
 
 // Index is the container's table of contents.
@@ -77,8 +82,37 @@ type Index struct {
 	// ShardReads is the target shard size the writer used (0 if the
 	// writer streamed with an unknown total).
 	ShardReads int
-	// Entries lists the shards in read order.
+	// Sources is the source-file manifest (v3+). Empty when the writer
+	// had no file attribution (in-memory or single-stream compression);
+	// otherwise Entry.Source indexes into it.
+	Sources []SourceFile
+	// Entries lists the shards in read order. Shards from the same
+	// source are contiguous: Entry.Source never decreases.
 	Entries []Entry
+}
+
+// SourceShards counts the shards attributed to each source.
+func (ix *Index) SourceShards() []int {
+	if len(ix.Sources) == 0 {
+		return nil
+	}
+	out := make([]int, len(ix.Sources))
+	for _, e := range ix.Entries {
+		out[e.Source]++
+	}
+	return out
+}
+
+// SourceBytes sums the compressed block bytes attributed to each source.
+func (ix *Index) SourceBytes() []int64 {
+	if len(ix.Sources) == 0 {
+		return nil
+	}
+	out := make([]int64, len(ix.Sources))
+	for _, e := range ix.Entries {
+		out[e.Source] += e.Length
+	}
+	return out
 }
 
 // BlockBytes sums the block lengths.
@@ -96,6 +130,10 @@ func (ix *Index) BlockBytes() int64 {
 // (Open), so a served container never has to be resident as a whole.
 type Container struct {
 	Index Index
+	// Version is the wire format version the container was written
+	// with (1..FormatVersion); versions below 3 carry no source
+	// manifest.
+	Version int
 	// Consensus is the embedded shared consensus, nil if the container
 	// was written without one.
 	Consensus genome.Seq
@@ -112,7 +150,8 @@ type Container struct {
 func (c *Container) NumShards() int { return len(c.Index.Entries) }
 
 // marshalHeader encodes magic, version, flags, counts, the optional
-// consensus, and the index. The block section follows it verbatim.
+// consensus, the source manifest, and the index. The block section
+// follows it verbatim.
 func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.Write(Magic[:])
@@ -139,11 +178,25 @@ func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 		}
 		buf.Write(enc)
 	}
+	writeUvarint(&buf, uint64(len(ix.Sources)))
+	for _, s := range ix.Sources {
+		writeUvarint(&buf, uint64(len(s.Name)))
+		buf.WriteString(s.Name)
+		writeUvarint(&buf, uint64(len(s.Mate)))
+		buf.WriteString(s.Mate)
+		writeUvarint(&buf, uint64(s.Reads))
+	}
+	for _, e := range ix.Entries {
+		if e.Source < 0 || (e.Source >= len(ix.Sources) && e.Source != 0) {
+			return nil, fmt.Errorf("shard: entry source %d outside the %d-entry manifest", e.Source, len(ix.Sources))
+		}
+	}
 	writeUvarint(&buf, uint64(len(ix.Entries)))
 	for _, e := range ix.Entries {
 		writeUvarint(&buf, uint64(e.ReadCount))
 		writeUvarint(&buf, uint64(e.Offset))
 		writeUvarint(&buf, uint64(e.Length))
+		writeUvarint(&buf, uint64(e.Source))
 		var cs [4]byte
 		binary.LittleEndian.PutUint32(cs[:], e.Checksum)
 		buf.Write(cs[:])
@@ -196,8 +249,11 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 	if err != nil {
 		return nil, 0, short("version", err)
 	}
-	if ver != FormatVersion {
-		return nil, 0, fmt.Errorf("shard: unsupported version %d", ver)
+	// Versions 1 and 2 share the legacy manifest-less layout; version 3
+	// added the source manifest. docs/FORMAT.md is the normative
+	// history.
+	if ver < 1 || ver > FormatVersion {
+		return nil, 0, fmt.Errorf("shard: unsupported version %d (this reader handles 1..%d)", ver, FormatVersion)
 	}
 	flags, err := rd.ReadByte()
 	if err != nil {
@@ -213,7 +269,7 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 		}
 		return int(v), nil
 	}
-	c := &Container{}
+	c := &Container{Version: int(ver)}
 	if c.Index.TotalReads, err = ru("total read count"); err != nil {
 		return nil, 0, err
 	}
@@ -250,6 +306,50 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 		}
 		c.Consensus = cons
 	}
+	if ver >= manifestVersion {
+		nSources, err := ru("source count")
+		if err != nil {
+			return nil, 0, err
+		}
+		// Each manifest entry occupies at least 3 bytes (three varints),
+		// so a source count the header cannot physically hold is
+		// corruption, not a short prefix.
+		if int64(nSources) > totalSize/3 {
+			return nil, 0, fmt.Errorf("shard: implausible source count %d for a %d-byte container", nSources, totalSize)
+		}
+		rstr := func(what string) (string, error) {
+			n, err := ru(what + " length")
+			if err != nil {
+				return "", err
+			}
+			if int64(n) > totalSize {
+				return "", fmt.Errorf("shard: %s (%d bytes) exceeds the %d-byte container", what, n, totalSize)
+			}
+			if n > rd.Len() {
+				return "", short(what, io.ErrUnexpectedEOF)
+			}
+			b := make([]byte, n)
+			if _, err := io.ReadFull(rd, b); err != nil {
+				return "", short(what, err)
+			}
+			return string(b), nil
+		}
+		if nSources > 0 {
+			c.Index.Sources = make([]SourceFile, nSources)
+		}
+		for i := range c.Index.Sources {
+			s := &c.Index.Sources[i]
+			if s.Name, err = rstr(fmt.Sprintf("source %d name", i)); err != nil {
+				return nil, 0, err
+			}
+			if s.Mate, err = rstr(fmt.Sprintf("source %d mate name", i)); err != nil {
+				return nil, 0, err
+			}
+			if s.Reads, err = ru(fmt.Sprintf("source %d read count", i)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
 	nShards, err := ru("shard count")
 	if err != nil {
 		return nil, 0, err
@@ -280,6 +380,22 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 		if e.Offset != next {
 			return nil, 0, fmt.Errorf("shard: shard %d offset %d is not contiguous (want %d)", i, e.Offset, next)
 		}
+		if ver >= manifestVersion {
+			if e.Source, err = ru(fmt.Sprintf("shard %d source", i)); err != nil {
+				return nil, 0, err
+			}
+			switch {
+			case len(c.Index.Sources) == 0 && e.Source != 0:
+				return nil, 0, fmt.Errorf("shard: shard %d names source %d but the container has no manifest", i, e.Source)
+			case len(c.Index.Sources) > 0 && e.Source >= len(c.Index.Sources):
+				return nil, 0, fmt.Errorf("shard: shard %d source %d out of range [0,%d)", i, e.Source, len(c.Index.Sources))
+			case i > 0 && e.Source < c.Index.Entries[i-1].Source:
+				// Shards are written in ingest order and never span
+				// sources, so source indices are non-decreasing.
+				return nil, 0, fmt.Errorf("shard: shard %d source %d precedes shard %d's source %d",
+					i, e.Source, i-1, c.Index.Entries[i-1].Source)
+			}
+		}
 		next += e.Length
 		reads += e.ReadCount
 		var cs [4]byte
@@ -290,6 +406,18 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 	}
 	if reads != c.Index.TotalReads {
 		return nil, 0, fmt.Errorf("shard: index lists %d reads but header claims %d", reads, c.Index.TotalReads)
+	}
+	if len(c.Index.Sources) > 0 {
+		perSrc := make([]int, len(c.Index.Sources))
+		for _, e := range c.Index.Entries {
+			perSrc[e.Source] += e.ReadCount
+		}
+		for i, s := range c.Index.Sources {
+			if perSrc[i] != s.Reads {
+				return nil, 0, fmt.Errorf("shard: source %q: index attributes %d reads but manifest claims %d",
+					s.Display(), perSrc[i], s.Reads)
+			}
+		}
 	}
 	var hc [4]byte
 	if _, err := io.ReadFull(rd, hc[:]); err != nil {
@@ -419,25 +547,31 @@ func (c *Container) Block(i int) ([]byte, error) {
 // Inspect renders a human-readable summary of a sharded container: the
 // header, the shared consensus, and the full shard index with per-shard
 // compressed-bytes-per-read and compression-ratio columns plus a totals
-// row. Computing a shard's ratio requires its uncompressed size, so
-// Inspect decodes the shards (concurrently, on all CPUs — the same work
-// `sage decompress` would do); cons is the fallback consensus for
-// containers written without an embedded one. Shards that cannot be
-// decoded — corrupt, or no consensus available — show "-" and are
-// flagged instead of failing the whole summary.
+// row. Containers with a source manifest additionally get a per-shard
+// source column and per-file totals. Computing a shard's ratio requires
+// its uncompressed size, so Inspect decodes the shards (concurrently,
+// on all CPUs — the same work `sage decompress` would do); cons is the
+// fallback consensus for containers written without an embedded one.
+// Shards that cannot be decoded — corrupt, or no consensus available —
+// show "-" and are flagged instead of failing the whole summary.
 func Inspect(data []byte, cons genome.Seq) (string, error) {
 	c, err := Parse(data)
 	if err != nil {
 		return "", err
 	}
 	rawSizes, decodeErrs := inspectSizes(c, cons)
+	hasManifest := len(c.Index.Sources) > 0
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "SAGe sharded container v%d, %d bytes (%d header+index, %d blocks)\n",
-		FormatVersion, len(data), int64(len(data))-c.Index.BlockBytes(), c.Index.BlockBytes())
+		c.Version, len(data), int64(len(data))-c.Index.BlockBytes(), c.Index.BlockBytes())
 	fmt.Fprintf(&b, "reads: %d in %d shards (target %d reads/shard); consensus: %d bases (embedded: %v)\n",
 		c.Index.TotalReads, c.NumShards(), c.Index.ShardReads, len(c.Consensus), c.Consensus != nil)
-	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s  %7s  %7s\n",
+	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s  %7s  %7s",
 		"shard", "reads", "offset", "bytes", "crc32", "B/read", "ratio")
+	if hasManifest {
+		fmt.Fprintf(&b, "  %s", "source")
+	}
+	b.WriteByte('\n')
 	perRead := func(n int64, reads int) string {
 		if reads == 0 {
 			return "-"
@@ -458,9 +592,13 @@ func Inspect(data []byte, cons genome.Seq) (string, error) {
 				ratio = fmt.Sprintf("%.2fx", float64(rawSizes[i])/float64(e.Length))
 			}
 		}
-		fmt.Fprintf(&b, "%6d  %8d  %10d  %10d  %08x  %7s  %7s\n",
+		fmt.Fprintf(&b, "%6d  %8d  %10d  %10d  %08x  %7s  %7s",
 			i, e.ReadCount, e.Offset, e.Length, e.Checksum,
 			perRead(e.Length, e.ReadCount), ratio)
+		if hasManifest {
+			fmt.Fprintf(&b, "  %s", c.Index.Sources[e.Source].Display())
+		}
+		b.WriteByte('\n')
 	}
 	totalRatio := "-"
 	if rawKnown && c.Index.BlockBytes() > 0 {
@@ -469,6 +607,14 @@ func Inspect(data []byte, cons genome.Seq) (string, error) {
 	fmt.Fprintf(&b, "%6s  %8d  %10s  %10d  %8s  %7s  %7s\n",
 		"total", c.Index.TotalReads, "", c.Index.BlockBytes(), "",
 		perRead(c.Index.BlockBytes(), c.Index.TotalReads), totalRatio)
+	if hasManifest {
+		fmt.Fprintf(&b, "files: %d sources (shards are file-aware: no shard spans two sources)\n", len(c.Index.Sources))
+		shards, bytesPer := c.Index.SourceShards(), c.Index.SourceBytes()
+		for i, s := range c.Index.Sources {
+			fmt.Fprintf(&b, "  file %-30s  %8d reads  %5d shards  %10d B\n",
+				s.Display(), s.Reads, shards[i], bytesPer[i])
+		}
+	}
 	for _, msg := range bad {
 		fmt.Fprintf(&b, "! undecodable: %s\n", msg)
 	}

@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sage/internal/genome"
+)
+
+// FuzzParseHeader drives parseHeader over arbitrary prefixes, seeded
+// with real v1/v2/v3 headers (manifest included) so the fuzzer starts
+// inside every version's happy path and mutates the manifest fields
+// from there. The invariants: never panic, never allocate past the
+// claimed container size, and anything that parses must re-marshal to a
+// consistent index (reads, sources, offsets).
+func FuzzParseHeader(f *testing.F) {
+	ix := &Index{TotalReads: 5, ShardReads: 2,
+		Sources: []SourceFile{
+			{Name: "lane1_R1.fq", Mate: "lane1_R2.fq", Reads: 4},
+			{Name: "lane2.fq", Reads: 1},
+		},
+		Entries: []Entry{
+			{ReadCount: 2, Offset: 0, Length: 30, Source: 0, Checksum: 0xDEADBEEF},
+			{ReadCount: 2, Offset: 30, Length: 28, Source: 0, Checksum: 0x01020304},
+			{ReadCount: 1, Offset: 58, Length: 13, Source: 1, Checksum: 0xCAFEF00D},
+		}}
+	hdr, err := marshalHeader(ix, genome.MustFromString("ACGTACGTNN"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hdr)
+	plain, err := marshalHeader(&Index{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain)
+	for _, name := range []string{"golden_v1.sage", "golden_v2.sage"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, hdrLen, err := parseHeader(data, int64(len(data)))
+		if err != nil {
+			return
+		}
+		if hdrLen > len(data) {
+			t.Fatalf("header length %d exceeds input %d", hdrLen, len(data))
+		}
+		if c.Version < 1 || c.Version > FormatVersion {
+			t.Fatalf("accepted version %d", c.Version)
+		}
+		reads := 0
+		for i, e := range c.Index.Entries {
+			reads += e.ReadCount
+			if len(c.Index.Sources) > 0 && e.Source >= len(c.Index.Sources) {
+				t.Fatalf("entry %d source %d out of manifest range %d", i, e.Source, len(c.Index.Sources))
+			}
+		}
+		if reads != c.Index.TotalReads {
+			t.Fatalf("accepted inconsistent read totals: %d vs %d", reads, c.Index.TotalReads)
+		}
+		if len(c.Index.Sources) > 0 {
+			per := make([]int, len(c.Index.Sources))
+			for _, e := range c.Index.Entries {
+				per[e.Source] += e.ReadCount
+			}
+			for i, s := range c.Index.Sources {
+				if per[i] != s.Reads {
+					t.Fatalf("accepted inconsistent manifest: source %d has %d reads, manifest says %d", i, per[i], s.Reads)
+				}
+			}
+		}
+		// A successfully parsed header must round-trip through the
+		// writer into bytes that parse to the same index.
+		re, err := marshalHeader(&c.Index, c.Consensus)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted header failed: %v", err)
+		}
+		c2, _, err := parseHeader(re, int64(len(re))+c.Index.BlockBytes())
+		if err != nil {
+			t.Fatalf("re-marshaled header does not parse: %v", err)
+		}
+		if len(c2.Index.Entries) != len(c.Index.Entries) || c2.Index.TotalReads != c.Index.TotalReads {
+			t.Fatal("index changed across re-marshal")
+		}
+		if !bytes.Equal([]byte(c2.Consensus), []byte(c.Consensus)) {
+			t.Fatal("consensus changed across re-marshal")
+		}
+	})
+}

@@ -10,40 +10,63 @@ import (
 
 // TestGoldenHeaderBytes pins the exact header + index encoding. If this
 // test fails, the on-disk format changed: either revert the change, or
-// bump FormatVersion and regenerate the golden bytes deliberately.
+// bump FormatVersion and regenerate the golden bytes deliberately (and
+// update docs/FORMAT.md to match).
 func TestGoldenHeaderBytes(t *testing.T) {
 	ix := &Index{TotalReads: 5, ShardReads: 2, Entries: []Entry{
 		{ReadCount: 2, Offset: 0, Length: 300, Checksum: 0xDEADBEEF},
 		{ReadCount: 2, Offset: 300, Length: 287, Checksum: 0x01020304},
 		{ReadCount: 1, Offset: 587, Length: 131, Checksum: 0xCAFEF00D},
 	}}
+	withSources := &Index{TotalReads: 5, ShardReads: 2,
+		Sources: []SourceFile{
+			{Name: "lane1_R1.fq", Mate: "lane1_R2.fq", Reads: 4},
+			{Name: "lane2.fq", Reads: 1},
+		},
+		Entries: []Entry{
+			{ReadCount: 2, Offset: 0, Length: 300, Source: 0, Checksum: 0xDEADBEEF},
+			{ReadCount: 2, Offset: 300, Length: 287, Source: 0, Checksum: 0x01020304},
+			{ReadCount: 1, Offset: 587, Length: 131, Source: 1, Checksum: 0xCAFEF00D},
+		}}
 	cases := []struct {
 		name string
+		ix   *Index
 		cons genome.Seq
 		hex  string
 	}{
 		{
 			name: "no consensus",
+			ix:   ix,
 			cons: nil,
-			hex: "5341475301000502030200ac02efbeadde02ac029f020403020101cb04" +
-				"83010df0feca22613381",
+			hex: "534147530300050200030200ac0200efbeadde02ac029f0200040302" +
+				"0101cb048301000df0fecaf0aa129a",
 		},
 		{
 			name: "2-bit consensus",
+			ix:   ix,
 			cons: genome.MustFromString("ACGTACGTAC"),
-			hex: "53414753010105020a1b1b10030200ac02efbeadde02ac029f0204030201" +
-				"01cb0483010df0feca2b52bd54",
+			hex: "53414753030105020a1b1b1000030200ac0200efbeadde02ac029f02" +
+				"000403020101cb048301000df0fecaae13d14b",
 		},
 		{
 			name: "3-bit consensus with N",
+			ix:   ix,
 			cons: genome.MustFromString("ACGTN"),
-			hex: "5341475301030502050538030200ac02efbeadde02ac029f020403020101" +
-				"cb0483010df0feca6b8f57af",
+			hex: "534147530303050205053800030200ac0200efbeadde02ac029f0200" +
+				"0403020101cb048301000df0fecad5371886",
+		},
+		{
+			name: "source manifest",
+			ix:   withSources,
+			cons: nil,
+			hex: "5341475303000502020b6c616e65315f52312e66710b6c616e65315f" +
+				"52322e667104086c616e65322e66710001030200ac0200efbeadde02" +
+				"ac029f02000403020101cb048301010df0fecae4152b3a",
 		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			got, err := marshalHeader(ix, c.cons)
+			got, err := marshalHeader(c.ix, c.cons)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,15 +88,16 @@ func TestGoldenConstants(t *testing.T) {
 	if string(Magic[:]) != "SAGS" {
 		t.Fatalf("magic changed: %q", Magic[:])
 	}
-	if FormatVersion != 1 {
+	if FormatVersion != 3 {
 		t.Fatalf("format version changed: %d", FormatVersion)
 	}
 }
 
 // TestGoldenRoundtripHeader checks Parse inverts marshalHeader for a
-// header-only container (no blocks).
+// header-only container (no blocks), manifest included.
 func TestGoldenRoundtripHeader(t *testing.T) {
-	ix := &Index{TotalReads: 0, ShardReads: 7}
+	ix := &Index{TotalReads: 0, ShardReads: 7,
+		Sources: []SourceFile{{Name: "a_R1.fq", Mate: "a_R2.fq"}}}
 	hdr, err := marshalHeader(ix, genome.MustFromString("ACGT"))
 	if err != nil {
 		t.Fatal(err)
@@ -84,5 +108,9 @@ func TestGoldenRoundtripHeader(t *testing.T) {
 	}
 	if c.Index.ShardReads != 7 || c.NumShards() != 0 || c.Consensus.String() != "ACGT" {
 		t.Fatalf("parsed header mismatch: %+v cons=%q", c.Index, c.Consensus.String())
+	}
+	if c.Version != FormatVersion || len(c.Index.Sources) != 1 ||
+		c.Index.Sources[0].Display() != "a_R1.fq+a_R2.fq" {
+		t.Fatalf("parsed manifest mismatch: v%d %+v", c.Version, c.Index.Sources)
 	}
 }

@@ -66,10 +66,13 @@ type Stats struct {
 	Shards          int
 	Reads           int
 	CompressedBytes int
-	// HeaderBytes counts magic + header + consensus + index.
+	// HeaderBytes counts magic + header + consensus + manifest + index.
 	HeaderBytes int
 	// BlockBytes counts the concatenated SAGe blocks.
 	BlockBytes int
+	// Sources is the number of manifest entries (input files or mate
+	// pairs); 0 when the writer had no file attribution.
+	Sources int
 }
 
 // Compress splits rs into shards and compresses them concurrently. The
@@ -86,7 +89,7 @@ func Compress(rs *fastq.ReadSet, opt Options) ([]byte, *Stats, error) {
 		return b, nil
 	}
 	var buf bytes.Buffer
-	st, err := compress(next, &buf, opt)
+	st, err := compress(next, &buf, opt, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,12 +101,28 @@ func Compress(rs *fastq.ReadSet, opt Options) ([]byte, *Stats, error) {
 // per worker; only the (much smaller) compressed blocks are buffered
 // until the index can be written.
 func CompressStream(br *fastq.BatchReader, w io.Writer, opt Options) (*Stats, error) {
-	return compress(br.Next, w, opt)
+	return compress(br.Next, w, opt, nil)
+}
+
+// CompressSources compresses batches from a multi-file reader — lane
+// splits via fastq.NewMultiReader, or paired-end R1/R2 mates via
+// fastq.NewPairedReader — into one container. mr's batches never span
+// two sources, so shard boundaries are file-aware, and the container
+// header gains a source manifest attributing every shard (and a
+// per-source read total) to the file or mate pair it came from.
+// mr defines the shard cut points: the container's recorded shard
+// target is mr's effective batch size (paired readers round it down to
+// even), not Options.ShardReads. Like the other writers, the output is
+// deterministic across worker counts.
+func CompressSources(mr *fastq.MultiReader, w io.Writer, opt Options) (*Stats, error) {
+	opt.ShardReads = mr.BatchSize()
+	return compress(mr.Next, w, opt, mr)
 }
 
 // compress runs the worker pool over next()'s batches and assembles the
-// container into w.
-func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stats, error) {
+// container into w. mr is non-nil only for CompressSources, where it
+// supplies the source manifest after the batches are drained.
+func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fastq.MultiReader) (*Stats, error) {
 	if len(opt.Core.Consensus) == 0 {
 		return nil, fmt.Errorf("shard: a consensus sequence is required")
 	}
@@ -113,6 +132,7 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stat
 		mu       sync.Mutex
 		blocks   [][]byte
 		counts   []int
+		sources  []int
 		firstErr error
 	)
 	var stop atomic.Bool
@@ -145,9 +165,11 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stat
 				for len(blocks) <= b.Index {
 					blocks = append(blocks, nil)
 					counts = append(counts, 0)
+					sources = append(sources, 0)
 				}
 				blocks[b.Index] = enc.Data
 				counts[b.Index] = len(b.Records)
+				sources[b.Index] = b.Source
 				mu.Unlock()
 			}
 		}()
@@ -170,6 +192,11 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stat
 	}
 
 	ix := &Index{ShardReads: opt.shardReads(), Entries: make([]Entry, len(blocks))}
+	if mr != nil {
+		for _, s := range mr.Sources() {
+			ix.Sources = append(ix.Sources, SourceFile{Name: s.Name, Mate: s.Mate})
+		}
+	}
 	var off int64
 	for i, blk := range blocks {
 		if blk == nil {
@@ -180,9 +207,13 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stat
 			ReadCount: counts[i],
 			Offset:    off,
 			Length:    int64(len(blk)),
+			Source:    sources[i],
 			Checksum:  crc32.ChecksumIEEE(blk),
 		}
 		off += int64(len(blk))
+		if len(ix.Sources) > 0 {
+			ix.Sources[sources[i]].Reads += counts[i]
+		}
 	}
 	var cons genome.Seq
 	if opt.Core.EmbedConsensus {
@@ -206,6 +237,7 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options) (*Stat
 		CompressedBytes: len(hdr) + int(off),
 		HeaderBytes:     len(hdr),
 		BlockBytes:      int(off),
+		Sources:         len(ix.Sources),
 	}, nil
 }
 
