@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"math/rand"
@@ -138,7 +140,8 @@ commands:
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
   inspect     -in reads.sage [-ref ref.txt]
   verify      -a a.fastq -b b.fastq
-  serve       -in reads.sage [-addr :8844] [-ref ref.txt] [-cache-bytes N] [-threads N]
+  serve       -in reads.sage [-in more.sage | -in dir/] [-addr :8844]
+              [-ref ref.txt] [-cache-bytes N] [-threads N]
 
 compress with -shard-reads 0 emits a single-block container; any other
 value emits a sharded, seekable container whose shards are compressed
@@ -156,12 +159,21 @@ ingest streams and therefore needs -ref. Example:
 
   sage compress -paired -ref ref.txt -out run.sage lane1_R1.fq lane1_R2.fq lane2_R1.fq lane2_R2.fq
 
-serve opens a sharded container lazily (only the index is resident) and
-serves it to concurrent clients: GET /shards (index + manifest),
-/shard/{i} (raw block), /shard/{i}/reads (decoded FASTQ), /files and
-/file/{name}/shards (per-source attribution), /stats. Decoded shards
-are cached in an LRU bounded by -cache-bytes; concurrent requests for
-the same cold shard are collapsed into one decode on a -threads pool.
+decompress streams sharded containers: shards are decoded on -threads
+workers but written in order, so peak memory is a few decoded shards,
+never the whole read set.
+
+serve hosts a registry of sharded containers, each opened lazily (only
+indexes are resident). -in repeats, and a directory -in serves every
+*.sage inside; each container is routed by base name under
+/c/{name}/... (GET /containers lists them; the first container also
+answers the legacy /shards, /shard/{i}, ... routes). Shard responses
+carry Content-Length and an ETag derived from the shard's index crc32,
+If-None-Match re-validation answers 304 without touching the
+container, and raw blocks honor Range for resumable fetches. Decoded
+shards are cached in one LRU bounded by -cache-bytes shared across all
+containers; concurrent requests for the same cold shard are collapsed
+into one decode on a -threads pool.
 
 exit codes: 0 success, 1 runtime failure, 2 usage error.`)
 }
@@ -188,8 +200,14 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := rs.Write(f); err != nil {
+	err = rs.Write(f)
+	// Propagate the close error: on a full disk the last buffered write
+	// surfaces here, and a truncated FASTQ must not be reported as
+	// success.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d reads (%d bases) to %s; reference (%d bases) to %s\n",
@@ -453,9 +471,14 @@ func cmdDecompress(args []string) error {
 	if *in == "" {
 		return usagef("decompress: -in is required")
 	}
-	data, err := os.ReadFile(*in)
+	inF, err := os.Open(*in)
 	if err != nil {
 		return err
+	}
+	defer inF.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(inF, magic[:]); err != nil {
+		return fmt.Errorf("decompress: reading %s: %w", *in, err)
 	}
 	var cons genome.Seq
 	if *refPath != "" {
@@ -463,25 +486,49 @@ func cmdDecompress(args []string) error {
 			return err
 		}
 	}
-	var rs *fastq.ReadSet
-	if shard.IsContainer(data) {
-		rs, err = shard.Decompress(data, cons, *threads)
-	} else {
-		rs, err = core.Decompress(data, cons)
-	}
-	if err != nil {
-		return err
-	}
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
+	var outF *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if outF, err = os.Create(*out); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		w = outF
 	}
-	return rs.Write(w)
+	if shard.IsContainer(magic[:]) {
+		// Sharded containers stream: the container is opened lazily
+		// (only the index is resident) and shards are decoded on a
+		// -threads pool but written in order, holding at most
+		// workers+1 decoded shards — peak memory is O(workers × shard),
+		// never O(container).
+		var fi os.FileInfo
+		if fi, err = inF.Stat(); err == nil {
+			var c *shard.Container
+			if c, err = shard.Open(inF, fi.Size()); err == nil {
+				err = c.DecompressTo(w, cons, *threads)
+			}
+		}
+	} else {
+		// Single-block containers are one codec block: the decoder
+		// needs it whole either way. Reuse the open handle (the magic
+		// probe consumed its first 4 bytes) rather than reading the
+		// file a second time.
+		var data []byte
+		if data, err = io.ReadAll(io.MultiReader(bytes.NewReader(magic[:]), inF)); err == nil {
+			var rs *fastq.ReadSet
+			if rs, err = core.Decompress(data, cons); err == nil {
+				err = rs.Write(w)
+			}
+		}
+	}
+	if outF != nil {
+		// The close error matters: on a full disk the final flush fails
+		// here, and swallowing it would report a truncated FASTQ as
+		// success.
+		if cerr := outF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func cmdInspect(args []string) error {
@@ -545,12 +592,52 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
+// repeatableFlag collects every occurrence of a repeated string flag.
+type repeatableFlag []string
+
+func (f *repeatableFlag) String() string     { return strings.Join(*f, ", ") }
+func (f *repeatableFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+// serveInputs expands the -in values into concrete container paths: a
+// directory contributes every *.sage file in it (sorted), a file
+// contributes itself.
+func serveInputs(ins []string) ([]string, error) {
+	var paths []string
+	for _, in := range ins {
+		fi, err := os.Stat(in)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			paths = append(paths, in)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(in, "*.sage"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("serve: directory %s contains no *.sage containers", in)
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	return paths, nil
+}
+
+// containerName derives the registry name a container is routed under:
+// its base name without the .sage extension.
+func containerName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ".sage")
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	in := fs.String("in", "", "sharded container to serve")
+	var ins repeatableFlag
+	fs.Var(&ins, "in", "sharded container to serve (repeatable; a directory serves every *.sage in it)")
 	addr := fs.String("addr", ":8844", "listen address")
-	refPath := fs.String("ref", "", "consensus file (only if not embedded in the container)")
-	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "decoded-shard cache budget in bytes")
+	refPath := fs.String("ref", "", "consensus file (only if not embedded in the containers)")
+	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "decoded-shard cache budget in bytes, shared across containers")
 	threads := fs.Int("threads", 0, "decode workers (0 = all CPUs)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -558,43 +645,69 @@ func cmdServe(args []string) error {
 	if err := checkThreads("serve", *threads); err != nil {
 		return err
 	}
-	if *in == "" {
-		return usagef("serve: -in is required")
+	if len(ins) == 0 {
+		return usagef("serve: at least one -in container (or directory of containers) is required")
 	}
 	if *cacheBytes <= 0 {
 		// serve.Config treats <= 0 as "use the default", which would
 		// silently contradict a 0 the operator meant as "no cache".
 		return usagef("serve: -cache-bytes must be > 0, got %d", *cacheBytes)
 	}
-
-	// Open lazily: only the header and index are read now; blocks are
-	// fetched shard by shard as clients ask for them.
-	c, f, err := shard.OpenFile(*in)
+	paths, err := serveInputs(ins)
 	if err != nil {
-		if pf, perr := os.Open(*in); perr == nil {
-			var magic [4]byte
-			_, rerr := io.ReadFull(pf, magic[:])
-			pf.Close()
-			if rerr == nil && core.IsContainer(magic[:]) {
-				return fmt.Errorf("serve: %s is a single-block container; only sharded containers are servable (recompress with -shard-reads > 0)", *in)
-			}
-		}
 		return err
 	}
-	defer f.Close()
+	// Containers are routed by base name (sans .sage), so two inputs
+	// that would collide must be renamed rather than silently shadowed.
+	seen := make(map[string]string, len(paths))
+	for _, path := range paths {
+		name := containerName(path)
+		if prev, dup := seen[name]; dup {
+			return usagef("serve: %s and %s would both be served as /c/%s/...; rename one", prev, path, name)
+		}
+		seen[name] = path
+	}
+
+	// Open each container lazily: only headers and indexes are read
+	// now; blocks are fetched shard by shard as clients ask for them.
+	var named []serve.Named
+	for _, path := range paths {
+		c, f, err := shard.OpenFile(path)
+		if err != nil {
+			if pf, perr := os.Open(path); perr == nil {
+				var magic [4]byte
+				_, rerr := io.ReadFull(pf, magic[:])
+				pf.Close()
+				if rerr == nil && core.IsContainer(magic[:]) {
+					return fmt.Errorf("serve: %s is a single-block container; only sharded containers are servable (recompress with -shard-reads > 0)", path)
+				}
+			}
+			return err
+		}
+		defer f.Close()
+		named = append(named, serve.Named{Name: containerName(path), C: c})
+	}
 	cfg := serve.Config{CacheBytes: *cacheBytes, Workers: *threads}
 	if *refPath != "" {
 		if cfg.Consensus, err = readRef(*refPath); err != nil {
 			return err
 		}
 	}
-	s, err := serve.New(c, cfg)
+	s, err := serve.NewMulti(named, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on %s: %d reads in %d shards (%d B blocks), cache budget %d B\n",
-		*in, *addr, c.Index.TotalReads, c.NumShards(), c.Index.BlockBytes(), *cacheBytes)
-	fmt.Printf("endpoints: /shards /shard/{i} /shard/{i}/reads /files /file/{name}/shards /stats\n")
+	fmt.Printf("serving %d container(s) on %s (shared cache budget %d B):\n", len(named), *addr, *cacheBytes)
+	for i, nc := range named {
+		def := ""
+		if i == 0 {
+			def = "  (default: legacy /shards etc. alias it)"
+		}
+		fmt.Printf("  /c/%s: %d reads in %d shards (%d B blocks)%s\n",
+			nc.Name, nc.C.Index.TotalReads, nc.C.NumShards(), nc.C.Index.BlockBytes(), def)
+	}
+	fmt.Printf("endpoints: /containers /c/{name}/shards /c/{name}/shard/{i}[/reads] /c/{name}/files /c/{name}/file/{file}/shards /stats\n")
+	fmt.Printf("shard responses carry ETag (= index crc32) and Content-Length; If-None-Match answers 304; raw blocks honor Range\n")
 	return http.ListenAndServe(*addr, s)
 }
 

@@ -67,3 +67,57 @@ func TestMeasureServe(t *testing.T) {
 			results[2].Bytes, int64(clients*rounds)*results[0].Bytes)
 	}
 }
+
+// TestMeasureServeRegistry is the acceptance gate for the registry
+// phases: one daemon hosting two containers must decode each container's
+// shards independently on the cold sweep, and the conditional sweep must
+// revalidate every shard as a bodyless 304 without a single extra decode
+// or error.
+func TestMeasureServeRegistry(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := genome.Random(rng, 30_000)
+	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
+	rs, err := simulate.New(rng, donor).ShortReads(400, simulate.DefaultShortProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := shard.DefaultOptions(ref)
+	opt.ShardReads = 50 // 8 shards
+	dataA, _, err := shard.Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ShardReads = 100 // 4 shards
+	dataB, _, err := shard.Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, st, err := MeasureServeRegistry([][]byte{dataA, dataB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d phases, want 2", len(results))
+	}
+	const shards = 8 + 4
+	if st.Containers != 2 || st.Shards != shards {
+		t.Fatalf("registry hosts %d containers / %d shards, want 2 / %d", st.Containers, st.Shards, shards)
+	}
+	cold, cond := results[0], results[1]
+	if cold.Requests != shards || cold.Bytes == 0 {
+		t.Fatalf("cold sweep: %d requests, %d bytes", cold.Requests, cold.Bytes)
+	}
+	if st.Decodes != shards {
+		t.Fatalf("decodes = %d, want %d (each container decodes its own shards)", st.Decodes, shards)
+	}
+	if cond.Requests != shards || cond.Bytes != 0 {
+		t.Fatalf("conditional sweep: %d requests moved %d bytes, want 0", cond.Requests, cond.Bytes)
+	}
+	if st.NotModified != shards {
+		t.Fatalf("not_modified = %d, want %d", st.NotModified, shards)
+	}
+	if st.Errors != 0 || st.WriteFailures != 0 {
+		t.Fatalf("errors = %d, write failures = %d", st.Errors, st.WriteFailures)
+	}
+}

@@ -60,6 +60,49 @@ func BenchmarkShardWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryWarmCache measures the cache-hit path through the
+// registry: two containers behind one server, alternating reads, every
+// request keyed {container, shard} in the shared cache.
+func BenchmarkRegistryWarmCache(b *testing.B) {
+	dataA, _, _ := testContainer(b, 2000, 250)
+	dataB, _, _ := testContainer(b, 1000, 250)
+	open := func(data []byte) *shard.Container {
+		c, err := shard.Open(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	s, err := NewMulti([]Named{
+		{Name: "a", C: open(dataA)},
+		{Name: "b", C: open(dataB)},
+	}, Config{CacheBytes: DefaultCacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var warm int64
+	for _, name := range []string{"a", "b"} {
+		out, err := s.DecodedShardOf(name, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm += int64(len(out))
+	}
+	b.SetBytes(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecodedShardOf("a", 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.DecodedShardOf("b", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Decodes != 2 {
+		b.Fatalf("warm registry reads cost %d decodes, want 2", st.Decodes)
+	}
+}
+
 // BenchmarkShardConcurrentClients measures aggregate throughput with
 // parallel clients spread over all shards, cache large enough to hold
 // the working set.

@@ -5,30 +5,38 @@ import (
 	"sync"
 )
 
-// lruCache is a byte-budgeted LRU over decoded shards. The value is the
-// shard's serialized FASTQ text, so accounting is exact: the cache's
-// resident bytes never exceed the budget — entries are evicted from the
-// cold end before an insert, and a value larger than the whole budget is
-// simply not cached.
+// shardKey identifies one decoded shard in the registry-wide cache and
+// singleflight group: the same shard index in two different containers
+// is two distinct keys.
+type shardKey struct {
+	container string
+	shard     int
+}
+
+// lruCache is a byte-budgeted LRU over decoded shards, shared by every
+// container in the registry. The value is the shard's serialized FASTQ
+// text, so accounting is exact: the cache's resident bytes never exceed
+// the budget — entries are evicted from the cold end before an insert,
+// and a value larger than the whole budget is simply not cached.
 type lruCache struct {
 	mu     sync.Mutex
 	budget int64
 	bytes  int64
 	ll     *list.List // front = most recently used
-	items  map[int]*list.Element
+	items  map[shardKey]*list.Element
 }
 
 type cacheEntry struct {
-	key  int
+	key  shardKey
 	data []byte
 }
 
 func newLRUCache(budget int64) *lruCache {
-	return &lruCache{budget: budget, ll: list.New(), items: make(map[int]*list.Element)}
+	return &lruCache{budget: budget, ll: list.New(), items: make(map[shardKey]*list.Element)}
 }
 
 // get returns the cached value for key, promoting it to most recent.
-func (c *lruCache) get(key int) ([]byte, bool) {
+func (c *lruCache) get(key shardKey) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -43,7 +51,7 @@ func (c *lruCache) get(key int) ([]byte, bool) {
 // the budget holds. It returns the number of entries evicted. Values
 // larger than the budget are not cached (evicting everything else for a
 // value that cannot fit would only thrash).
-func (c *lruCache) add(key int, data []byte) (evicted int) {
+func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 	size := int64(len(data))
 	if size > c.budget {
 		return 0

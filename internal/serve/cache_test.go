@@ -11,22 +11,27 @@ import (
 
 func val(n int) []byte { return bytes.Repeat([]byte{byte(n)}, n) }
 
+// key builds a cache key in a fixed container; ckey builds one in a
+// named container, for the cross-container isolation cases.
+func key(n int) shardKey            { return shardKey{container: "c", shard: n} }
+func ckey(c string, n int) shardKey { return shardKey{container: c, shard: n} }
+
 func TestLRUEvictionOrder(t *testing.T) {
 	c := newLRUCache(100)
 	for k := 1; k <= 5; k++ {
-		c.add(k, val(20)) // fills the budget exactly
+		c.add(key(k), val(20)) // fills the budget exactly
 	}
 	// A 50-byte insert must evict the three coldest entries (1, 2, 3).
-	if ev := c.add(6, val(50)); ev != 3 {
+	if ev := c.add(key(6), val(50)); ev != 3 {
 		t.Fatalf("add(6, 50B) evicted %d entries, want 3", ev)
 	}
 	for _, k := range []int{1, 2, 3} {
-		if _, ok := c.get(k); ok {
+		if _, ok := c.get(key(k)); ok {
 			t.Fatalf("cold entry %d survived", k)
 		}
 	}
 	for _, k := range []int{4, 5, 6} {
-		if _, ok := c.get(k); !ok {
+		if _, ok := c.get(key(k)); !ok {
 			t.Fatalf("warm entry %d was evicted", k)
 		}
 	}
@@ -37,37 +42,37 @@ func TestLRUEvictionOrder(t *testing.T) {
 
 func TestLRUEvictsColdEntryOnly(t *testing.T) {
 	c := newLRUCache(100)
-	c.add(1, val(40))
-	c.add(2, val(40))
-	if _, ok := c.get(1); !ok {
+	c.add(key(1), val(40))
+	c.add(key(2), val(40))
+	if _, ok := c.get(key(1)); !ok {
 		t.Fatal("entry 1 missing")
 	}
-	ev := c.add(3, val(20)) // 40+40+20 = 100: fits without eviction
+	ev := c.add(key(3), val(20)) // 40+40+20 = 100: fits without eviction
 	if ev != 0 {
 		t.Fatalf("add(3, 20B) evicted %d entries", ev)
 	}
-	ev = c.add(4, val(40)) // needs 40: evicts 2 (coldest; 1 was touched)
+	ev = c.add(key(4), val(40)) // needs 40: evicts 2 (coldest; 1 was touched)
 	if ev != 1 {
 		t.Fatalf("add(4, 40B) evicted %d entries, want 1", ev)
 	}
-	if _, ok := c.get(2); ok {
+	if _, ok := c.get(key(2)); ok {
 		t.Fatal("cold entry 2 survived eviction")
 	}
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.get(key(1)); !ok {
 		t.Fatal("recently used entry 1 was evicted")
 	}
 }
 
 func TestLRUOversizedValueNotCached(t *testing.T) {
 	c := newLRUCache(50)
-	c.add(1, val(30))
-	if ev := c.add(2, val(51)); ev != 0 {
+	c.add(key(1), val(30))
+	if ev := c.add(key(2), val(51)); ev != 0 {
 		t.Fatalf("oversized add evicted %d entries", ev)
 	}
-	if _, ok := c.get(2); ok {
+	if _, ok := c.get(key(2)); ok {
 		t.Fatal("oversized value was cached")
 	}
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.get(key(1)); !ok {
 		t.Fatal("oversized add destroyed resident entry")
 	}
 	if b, n := c.usage(); b != 30 || n != 1 {
@@ -77,10 +82,29 @@ func TestLRUOversizedValueNotCached(t *testing.T) {
 
 func TestLRUDuplicateAdd(t *testing.T) {
 	c := newLRUCache(100)
-	c.add(1, val(40))
-	c.add(1, val(40)) // racing decoders insert the same shard twice
+	c.add(key(1), val(40))
+	c.add(key(1), val(40)) // racing decoders insert the same shard twice
 	if b, n := c.usage(); b != 40 || n != 1 {
 		t.Fatalf("duplicate add: usage = %d bytes / %d entries", b, n)
+	}
+}
+
+// TestLRUContainerKeysDistinct pins the registry property: the same
+// shard index in two containers is two independent cache entries.
+func TestLRUContainerKeysDistinct(t *testing.T) {
+	c := newLRUCache(100)
+	c.add(ckey("a", 0), []byte("aaaa"))
+	c.add(ckey("b", 0), []byte("bb"))
+	got, ok := c.get(ckey("a", 0))
+	if !ok || string(got) != "aaaa" {
+		t.Fatalf("container a shard 0 = %q, %v", got, ok)
+	}
+	got, ok = c.get(ckey("b", 0))
+	if !ok || string(got) != "bb" {
+		t.Fatalf("container b shard 0 = %q, %v", got, ok)
+	}
+	if b, n := c.usage(); b != 6 || n != 2 {
+		t.Fatalf("usage = %d bytes / %d entries, want 6 / 2", b, n)
 	}
 }
 
@@ -98,9 +122,9 @@ func TestLRUBudgetInvariant(t *testing.T) {
 			for i := 0; i < 2000; i++ {
 				switch rng.Intn(3) {
 				case 0:
-					c.get(rng.Intn(50))
+					c.get(key(rng.Intn(50)))
 				default:
-					c.add(rng.Intn(50), val(rng.Intn(300)))
+					c.add(key(rng.Intn(50)), val(rng.Intn(300)))
 				}
 				if b, _ := c.usage(); b > budget {
 					t.Errorf("cache holds %d bytes, budget %d", b, budget)
@@ -117,21 +141,21 @@ func TestFlightGroupDedup(t *testing.T) {
 	var runs atomic.Int32
 	block := make(chan struct{})
 	entered := make(chan struct{})
-	fn := func() ([]byte, error) {
+	fn := func() (*decoded, error) {
 		if runs.Add(1) == 1 {
 			close(entered)
 			<-block
 		}
-		return []byte("payload"), nil
+		return &decoded{data: []byte("payload")}, nil
 	}
 
 	var wg sync.WaitGroup
-	results := make([][]byte, 16)
+	results := make([]*decoded, 16)
 	shares := make([]bool, 16)
 	wg.Add(1)
 	go func() { // leader: parks inside fn until released
 		defer wg.Done()
-		v, err, shared := g.do(7, fn)
+		v, err, shared := g.do(key(7), fn)
 		if err != nil {
 			t.Errorf("leader: %v", err)
 		}
@@ -142,7 +166,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func(n int) { // joiners arrive while the leader is in flight
 			defer wg.Done()
-			v, err, shared := g.do(7, fn)
+			v, err, shared := g.do(key(7), fn)
 			if err != nil {
 				t.Errorf("joiner %d: %v", n, err)
 			}
@@ -160,11 +184,44 @@ func TestFlightGroupDedup(t *testing.T) {
 		t.Fatalf("fn ran %d times, want 1", n)
 	}
 	for n, v := range results {
-		if string(v) != "payload" {
-			t.Fatalf("caller %d got %q", n, v)
+		if v == nil || string(v.data) != "payload" {
+			t.Fatalf("caller %d got %+v", n, v)
 		}
 		if n > 0 && !shares[n] {
 			t.Fatalf("joiner %d did not share the leader's flight", n)
 		}
 	}
+}
+
+// TestFlightGroupContainerKeysDistinct pins that two flights for the
+// same shard index in different containers run independently: neither
+// joins the other.
+func TestFlightGroupContainerKeysDistinct(t *testing.T) {
+	var g flightGroup
+	aEntered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, shared := g.do(ckey("a", 0), func() (*decoded, error) {
+			close(aEntered)
+			<-release
+			return &decoded{data: []byte("a")}, nil
+		})
+		if err != nil || shared {
+			t.Errorf("container a flight: err=%v shared=%v", err, shared)
+		}
+	}()
+	<-aEntered
+	// While a's flight is parked, b's flight for the same shard index
+	// must lead its own call, not join a's.
+	v, err, shared := g.do(ckey("b", 0), func() (*decoded, error) {
+		return &decoded{data: []byte("b")}, nil
+	})
+	if err != nil || shared || string(v.data) != "b" {
+		t.Fatalf("container b flight: v=%+v err=%v shared=%v", v, err, shared)
+	}
+	close(release)
+	wg.Wait()
 }

@@ -1,0 +1,121 @@
+// HTTP conditional-request and range-request plumbing: ETags derived
+// from the shard index's crc32, If-None-Match evaluation, and
+// single-range Range parsing for resumable raw-block fetches.
+package serve
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"sage/internal/genome"
+	"sage/internal/shard"
+)
+
+// consensusTag fingerprints a fallback consensus for ETag mixing; 0
+// when there is none.
+func consensusTag(cons genome.Seq) uint32 {
+	if cons == nil {
+		return 0
+	}
+	return crc32.ChecksumIEEE(cons)
+}
+
+// blockETag is the raw-block entity tag: the shard's index crc32. The
+// index is immutable for a given container, so the tag is stable across
+// server restarts — a client can re-validate a block it fetched from a
+// previous process for the cost of a 304.
+func blockETag(e shard.Entry) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%08x", e.Checksum))
+}
+
+// readsETag tags the decoded-FASTQ representation of the same shard.
+// RFC 9110 requires different representations of a resource to carry
+// different tags, so the decoded form gets a distinct suffix. The
+// decoded bytes of a container WITHOUT an embedded consensus also
+// depend on the server's fallback consensus (Config.Consensus), so its
+// fingerprint is mixed in — a restart with a different -ref must not
+// answer 304 for FASTQ that now decodes differently. With the same
+// fallback (or an embedded consensus), the tag stays restart-stable.
+func (s *Server) readsETag(e *Named, ent shard.Entry) string {
+	if e.C.Consensus == nil && s.consTag != 0 {
+		return fmt.Sprintf("%q", fmt.Sprintf("%08x-fq-%08x", ent.Checksum, s.consTag))
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%08x-fq", ent.Checksum))
+}
+
+// etagMatch evaluates an If-None-Match header value against the current
+// entity tag: a "*" or any listed tag matching (weak-compare — a W/
+// prefix is ignored) means the client's copy is current.
+func etagMatch(header, tag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRange interprets a Range header against a size-byte entity. It
+// returns the window to serve and whether it is partial (206). The
+// grammar accepted is the single-range form of RFC 9110 §14.1.2:
+// "bytes=a-b", "bytes=a-", and the suffix form "bytes=-n".
+//
+//   - An absent header, or one in units other than bytes, selects the
+//     whole entity (a server may ignore ranges it does not understand).
+//   - Multiple ranges select the whole entity too: shard blocks are
+//     single opaque units and a multipart reply would only complicate
+//     resumption, the one use case ranges exist for here.
+//   - A malformed or unsatisfiable bytes range is an error; the caller
+//     answers 416 with the entity size in Content-Range.
+func parseRange(header string, size int64) (start, length int64, partial bool, err error) {
+	if header == "" {
+		return 0, size, false, nil
+	}
+	spec, ok := strings.CutPrefix(header, "bytes=")
+	if !ok {
+		return 0, size, false, nil
+	}
+	if strings.Contains(spec, ",") {
+		return 0, size, false, nil
+	}
+	lo, hi, ok := strings.Cut(strings.TrimSpace(spec), "-")
+	if !ok {
+		return 0, 0, false, fmt.Errorf("serve: malformed range %q", header)
+	}
+	if lo == "" {
+		// Suffix form: the final n bytes.
+		n, perr := strconv.ParseInt(hi, 10, 64)
+		if perr != nil || n <= 0 {
+			return 0, 0, false, fmt.Errorf("serve: unsatisfiable suffix range %q", header)
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, true, nil
+	}
+	start, perr := strconv.ParseInt(lo, 10, 64)
+	if perr != nil || start < 0 {
+		return 0, 0, false, fmt.Errorf("serve: malformed range %q", header)
+	}
+	if start >= size {
+		return 0, 0, false, fmt.Errorf("serve: range %q starts past the %d-byte block", header, size)
+	}
+	end := size - 1
+	if hi != "" {
+		end, perr = strconv.ParseInt(hi, 10, 64)
+		if perr != nil || end < start {
+			return 0, 0, false, fmt.Errorf("serve: malformed range %q", header)
+		}
+		if end > size-1 {
+			end = size - 1
+		}
+	}
+	return start, end - start + 1, true, nil
+}

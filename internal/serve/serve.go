@@ -1,18 +1,33 @@
 // Package serve implements SAGe's serving layer: an HTTP daemon that
-// exposes one sharded container (internal/shard) at shard granularity to
-// many concurrent clients. This is the production read path the ROADMAP
-// targets — data preparation as a service, where analysis nodes pull
-// exactly the shards they need instead of downloading and inflating a
-// whole read set (the Fig. 1 bottleneck, multiplied by every consumer).
+// exposes a registry of sharded containers (internal/shard) at shard
+// granularity to many concurrent clients. This is the production read
+// path the ROADMAP targets — data preparation as a service, where one
+// daemon hosts a whole archive of read sets and analysis nodes pull
+// exactly the shards they need instead of downloading and inflating
+// whole read sets (the Fig. 1 bottleneck, multiplied by every consumer).
 //
 // Endpoints:
 //
-//	GET /shards               the shard index (+ source manifest), as JSON
-//	GET /shard/{i}            shard i's raw compressed block (CRC-verified)
-//	GET /shard/{i}/reads      shard i decoded to FASTQ text
-//	GET /files                the source-file manifest with per-file totals
-//	GET /file/{name}/shards   the shards ingested from one source file
-//	GET /stats                server counters and cache occupancy, as JSON
+//	GET /containers                      the registered containers, as JSON
+//	GET /c/{name}/shards                 container's shard index (+ manifest)
+//	GET /c/{name}/shard/{i}              shard i's raw compressed block
+//	GET /c/{name}/shard/{i}/reads        shard i decoded to FASTQ text
+//	GET /c/{name}/files                  the source-file manifest
+//	GET /c/{name}/file/{file}/shards     the shards from one source file
+//	GET /stats                           server counters and cache occupancy
+//
+// The pre-registry single-container routes (/shards, /shard/{i},
+// /shard/{i}/reads, /files, /file/{name}/shards) remain as aliases for
+// the default container — the first one registered — so existing
+// clients keep working unchanged.
+//
+// The shard endpoints speak correct HTTP for cheap re-validation and
+// resumption: every response carries an explicit Content-Length and an
+// ETag derived from the shard's index crc32 (the raw block and the
+// decoded representation get distinct tags), If-None-Match answers 304
+// without touching the container, and the raw-block endpoint honors
+// single-range Range requests (Accept-Ranges: bytes, 206/416) so a
+// client can resume a partial shard fetch.
 //
 // The /files endpoints exist for containers written by multi-file
 // ingest (shard.CompressSources, container format v3): every shard is
@@ -20,22 +35,33 @@
 // an analysis client can pull exactly one lane's or one sample's shards.
 // Containers without a manifest answer 404 there.
 //
-// Decoded shards are kept in a byte-budgeted LRU cache. Decodes run on a
-// bounded worker pool shared by all requests, and a singleflight group
-// collapses concurrent requests for the same cold shard into one decode:
-// N clients asking for shard i while it is being decoded all receive the
-// one result. The container is opened via shard.Open, so serving a
-// container costs its index in memory plus the cache budget — never the
-// file.
+// Decoded shards are kept in one byte-budgeted LRU cache shared by all
+// containers, keyed {container, shard}. Decodes run on one bounded
+// worker pool shared by all requests, and a singleflight group collapses
+// concurrent requests for the same cold shard of the same container into
+// one decode: N clients asking for it while it is being decoded all
+// receive the one result. A shard whose decoded text exceeds the whole
+// cache budget is never materialized as text at all — its records are
+// streamed straight into the response writer, and the request holds its
+// decode-pool slot until the stream drains, so at most Workers such
+// decoded shards are resident at once (concurrent streams of the same
+// shard share one copy) and serving memory is bounded by the cache
+// budget plus the decode pool, never by container or shard size.
+// Containers are opened via shard.Open, so serving
+// costs each container's index in memory plus the shared cache budget —
+// never the files.
 package serve
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"sage/internal/fastq"
 	"sage/internal/genome"
@@ -45,36 +71,62 @@ import (
 // DefaultCacheBytes is the default decoded-shard cache budget.
 const DefaultCacheBytes = 64 << 20
 
+// DefaultName is the container name New registers its single container
+// under, and therefore the name the legacy routes alias by default.
+const DefaultName = "default"
+
 // Config parameterizes a Server.
 type Config struct {
-	// CacheBytes bounds the decoded-shard cache (<= 0 uses
-	// DefaultCacheBytes). The cache never holds more than this many
-	// bytes of decoded FASTQ.
+	// CacheBytes bounds the decoded-shard cache shared by all
+	// containers (<= 0 uses DefaultCacheBytes). The cache never holds
+	// more than this many bytes of decoded FASTQ.
 	CacheBytes int64
-	// Workers bounds concurrent shard decodes (<= 0 uses GOMAXPROCS).
+	// Workers bounds concurrent shard decodes across all containers
+	// (<= 0 uses GOMAXPROCS).
 	Workers int
 	// Consensus is the fallback consensus for containers written
 	// without an embedded one; ignored otherwise.
 	Consensus genome.Seq
 }
 
-// Server serves one sharded container. It implements http.Handler.
-type Server struct {
-	c     *shard.Container
-	cfg   Config
-	cons  genome.Seq
-	cache *lruCache
-	fl    flightGroup
-	sem   chan struct{}
-	n     counters
-	mux   *http.ServeMux
+// Named is one container registration: the name it is routed under
+// (/c/{name}/...) and the opened container.
+type Named struct {
+	Name string
+	C    *shard.Container
 }
 
-// New builds a Server for c. It fails fast when the container cannot be
-// decoded at all (no embedded consensus and no fallback in cfg).
+// Server serves a registry of sharded containers. It implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	cons    genome.Seq
+	consTag uint32   // fallback-consensus fingerprint for decoded ETags
+	names   []string // registration order; names[0] is the default
+	byName  map[string]*Named
+	cache   *lruCache
+	fl      flightGroup
+	sem     chan struct{}
+	n       counters
+	mux     *http.ServeMux
+}
+
+// New builds a Server for a single container, registered under
+// DefaultName. It fails fast when the container cannot be decoded at
+// all (no embedded consensus and no fallback in cfg).
 func New(c *shard.Container, cfg Config) (*Server, error) {
-	if c.Consensus == nil && cfg.Consensus == nil {
-		return nil, fmt.Errorf("serve: container has no embedded consensus; Config.Consensus is required")
+	return NewMulti([]Named{{Name: DefaultName, C: c}}, cfg)
+}
+
+// NewMulti builds a Server hosting every given container, routed by
+// name under /c/{name}/...; the first container is additionally served
+// on the legacy single-container routes. All containers share one cache
+// budget and one decode pool. It fails fast on an empty registry, an
+// invalid or duplicate name, or a container that cannot be decoded at
+// all (no embedded consensus and no fallback in cfg).
+func NewMulti(containers []Named, cfg Config) (*Server, error) {
+	if len(containers) == 0 {
+		return nil, fmt.Errorf("serve: at least one container is required")
 	}
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = DefaultCacheBytes
@@ -83,18 +135,44 @@ func New(c *shard.Container, cfg Config) (*Server, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		c:     c,
-		cfg:   cfg,
-		cons:  cfg.Consensus,
-		cache: newLRUCache(cfg.CacheBytes),
-		sem:   make(chan struct{}, cfg.Workers),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		cons:    cfg.Consensus,
+		consTag: consensusTag(cfg.Consensus),
+		byName:  make(map[string]*Named, len(containers)),
+		cache:   newLRUCache(cfg.CacheBytes),
+		sem:     make(chan struct{}, cfg.Workers),
+		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("GET /shards", s.handleIndex)
-	s.mux.HandleFunc("GET /shard/{i}", s.handleBlock)
-	s.mux.HandleFunc("GET /shard/{i}/reads", s.handleReads)
-	s.mux.HandleFunc("GET /files", s.handleFiles)
-	s.mux.HandleFunc("GET /file/{name}/shards", s.handleFileShards)
+	for _, nc := range containers {
+		// "." and ".." are rejected too: ServeMux path-cleaning folds
+		// /c/../shards into /shards before matching, so such a name
+		// would be silently answered by the wrong container.
+		if nc.Name == "" || nc.Name == "." || nc.Name == ".." || strings.ContainsAny(nc.Name, "/?#%") {
+			return nil, fmt.Errorf("serve: container name %q is not routable (must be non-empty, not %q or %q, without '/', '?', '#', '%%')", nc.Name, ".", "..")
+		}
+		if _, dup := s.byName[nc.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate container name %q", nc.Name)
+		}
+		if nc.C.Consensus == nil && cfg.Consensus == nil {
+			return nil, fmt.Errorf("serve: container %q has no embedded consensus; Config.Consensus is required", nc.Name)
+		}
+		s.byName[nc.Name] = &nc
+		s.names = append(s.names, nc.Name)
+	}
+
+	s.mux.HandleFunc("GET /containers", s.handleContainers)
+	s.mux.HandleFunc("GET /c/{name}/shards", s.registry(s.handleIndex))
+	s.mux.HandleFunc("GET /c/{name}/shard/{i}", s.registry(s.handleBlock))
+	s.mux.HandleFunc("GET /c/{name}/shard/{i}/reads", s.registry(s.handleReads))
+	s.mux.HandleFunc("GET /c/{name}/files", s.registry(s.handleFiles))
+	s.mux.HandleFunc("GET /c/{name}/file/{file}/shards", s.registry(s.handleFileShards))
+	// Legacy single-container aliases, pinned to the default container.
+	def := s.byName[s.names[0]]
+	s.mux.HandleFunc("GET /shards", s.defaulted(def, s.handleIndex))
+	s.mux.HandleFunc("GET /shard/{i}", s.defaulted(def, s.handleBlock))
+	s.mux.HandleFunc("GET /shard/{i}/reads", s.defaulted(def, s.handleReads))
+	s.mux.HandleFunc("GET /files", s.defaulted(def, s.handleFiles))
+	s.mux.HandleFunc("GET /file/{file}/shards", s.defaulted(def, s.handleFileShards))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
 }
@@ -103,26 +181,85 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// fail answers a request with a clean error status. Container-level
-// failures (checksum mismatch, undecodable block) are the server's
-// data's fault, not the client's, and map to 500.
+// registry adapts a per-container handler to the /c/{name}/... routes,
+// resolving {name} against the registry (unknown name → 404).
+func (s *Server) registry(h func(http.ResponseWriter, *http.Request, *Named)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.byName[r.PathValue("name")]
+		if !ok {
+			s.fail(w, http.StatusNotFound, fmt.Errorf("serve: no container %q (see /containers)", r.PathValue("name")))
+			return
+		}
+		h(w, r, e)
+	}
+}
+
+// defaulted adapts a per-container handler to the legacy routes, which
+// always address the default (first-registered) container.
+func (s *Server) defaulted(e *Named, h func(http.ResponseWriter, *http.Request, *Named)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, e) }
+}
+
+// fail answers a request with a clean error status. 4xx statuses are
+// the client's mistake (bad shard index, unknown container or file,
+// unsatisfiable range); 5xx statuses are the server's data's fault
+// (checksum mismatch, undecodable block). The two are counted apart so
+// /stats can alert on data corruption without noise from client typos.
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	s.n.errors.Add(1)
+	if code >= http.StatusInternalServerError {
+		s.n.serverErrs.Add(1)
+	} else {
+		s.n.clientErrs.Add(1)
+	}
 	http.Error(w, err.Error(), code)
 }
 
 // shardIndex parses and range-checks the {i} path component.
-func (s *Server) shardIndex(w http.ResponseWriter, r *http.Request) (int, bool) {
+func (s *Server) shardIndex(w http.ResponseWriter, r *http.Request, e *Named) (int, bool) {
 	i, err := strconv.Atoi(r.PathValue("i"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: shard index %q is not an integer", r.PathValue("i")))
 		return 0, false
 	}
-	if i < 0 || i >= s.c.NumShards() {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: shard %d out of range [0,%d)", i, s.c.NumShards()))
+	if i < 0 || i >= e.C.NumShards() {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: shard %d out of range [0,%d)", i, e.C.NumShards()))
 		return 0, false
 	}
 	return i, true
+}
+
+// containerInfo is one /containers row.
+type containerInfo struct {
+	Name          string `json:"name"`
+	FormatVersion int    `json:"format_version"`
+	Reads         int    `json:"reads"`
+	Shards        int    `json:"shards"`
+	BlockBytes    int64  `json:"block_bytes"`
+	Files         int    `json:"files,omitempty"`
+	Default       bool   `json:"default,omitempty"`
+}
+
+// containersListing is the /containers response.
+type containersListing struct {
+	Containers []containerInfo `json:"containers"`
+}
+
+func (s *Server) handleContainers(w http.ResponseWriter, r *http.Request) {
+	s.n.indexReads.Add(1)
+	l := containersListing{Containers: make([]containerInfo, 0, len(s.names))}
+	for i, name := range s.names {
+		e := s.byName[name]
+		l.Containers = append(l.Containers, containerInfo{
+			Name:          name,
+			FormatVersion: e.C.Version,
+			Reads:         e.C.Index.TotalReads,
+			Shards:        e.C.NumShards(),
+			BlockBytes:    e.C.Index.BlockBytes(),
+			Files:         len(e.C.Index.Sources),
+			Default:       i == 0,
+		})
+	}
+	s.writeJSON(w, l)
 }
 
 // indexEntry is one /shards row. File names the shard's source (from
@@ -150,6 +287,7 @@ type fileEntry struct {
 
 // indexListing is the /shards response.
 type indexListing struct {
+	Container      string       `json:"container,omitempty"`
 	FormatVersion  int          `json:"format_version"`
 	Reads          int          `json:"reads"`
 	Shards         int          `json:"shards"`
@@ -162,12 +300,12 @@ type indexListing struct {
 
 // fileEntries builds the manifest rows with per-file shard and byte
 // totals; nil for manifest-less containers.
-func (s *Server) fileEntries() []fileEntry {
-	srcs := s.c.Index.Sources
+func (e *Named) fileEntries() []fileEntry {
+	srcs := e.C.Index.Sources
 	if len(srcs) == 0 {
 		return nil
 	}
-	shards, bytesPer := s.c.Index.SourceShards(), s.c.Index.SourceBytes()
+	shards, bytesPer := e.C.Index.SourceShards(), e.C.Index.SourceBytes()
 	out := make([]fileEntry, len(srcs))
 	for i, src := range srcs {
 		out[i] = fileEntry{
@@ -182,36 +320,37 @@ func (s *Server) fileEntries() []fileEntry {
 	return out
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request, e *Named) {
 	s.n.indexReads.Add(1)
 	l := indexListing{
-		FormatVersion:  s.c.Version,
-		Reads:          s.c.Index.TotalReads,
-		Shards:         s.c.NumShards(),
-		ShardReads:     s.c.Index.ShardReads,
-		BlockBytes:     s.c.Index.BlockBytes(),
-		ConsensusBases: len(s.c.Consensus),
-		Files:          s.fileEntries(),
-		Index:          make([]indexEntry, 0, s.c.NumShards()),
+		Container:      e.Name,
+		FormatVersion:  e.C.Version,
+		Reads:          e.C.Index.TotalReads,
+		Shards:         e.C.NumShards(),
+		ShardReads:     e.C.Index.ShardReads,
+		BlockBytes:     e.C.Index.BlockBytes(),
+		ConsensusBases: len(e.C.Consensus),
+		Files:          e.fileEntries(),
+		Index:          make([]indexEntry, 0, e.C.NumShards()),
 	}
-	for i, e := range s.c.Index.Entries {
-		l.Index = append(l.Index, s.entryJSON(i, e))
+	for i, ent := range e.C.Index.Entries {
+		l.Index = append(l.Index, e.entryJSON(i, ent))
 	}
-	writeJSON(w, l)
+	s.writeJSON(w, l)
 }
 
 // entryJSON renders one index entry, attributing it to its source file
 // when the container has a manifest.
-func (s *Server) entryJSON(i int, e shard.Entry) indexEntry {
+func (e *Named) entryJSON(i int, ent shard.Entry) indexEntry {
 	out := indexEntry{
 		Shard:  i,
-		Reads:  e.ReadCount,
-		Offset: e.Offset,
-		Bytes:  e.Length,
-		CRC32:  fmt.Sprintf("%08x", e.Checksum),
+		Reads:  ent.ReadCount,
+		Offset: ent.Offset,
+		Bytes:  ent.Length,
+		CRC32:  fmt.Sprintf("%08x", ent.Checksum),
 	}
-	if len(s.c.Index.Sources) > 0 {
-		out.File = s.c.Index.Sources[e.Source].Display()
+	if len(e.C.Index.Sources) > 0 {
+		out.File = e.C.Index.Sources[ent.Source].Display()
 	}
 	return out
 }
@@ -221,14 +360,14 @@ type filesListing struct {
 	Files []fileEntry `json:"files"`
 }
 
-func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
-	files := s.fileEntries()
+func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request, e *Named) {
+	files := e.fileEntries()
 	if files == nil {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: container has no source manifest (written before format v3, or from a single stream)"))
 		return
 	}
 	s.n.fileReads.Add(1)
-	writeJSON(w, filesListing{Files: files})
+	s.writeJSON(w, filesListing{Files: files})
 }
 
 // fileShardsListing is the /file/{name}/shards response.
@@ -237,13 +376,13 @@ type fileShardsListing struct {
 	Index []indexEntry `json:"index"`
 }
 
-func (s *Server) handleFileShards(w http.ResponseWriter, r *http.Request) {
-	files := s.fileEntries()
+func (s *Server) handleFileShards(w http.ResponseWriter, r *http.Request, e *Named) {
+	files := e.fileEntries()
 	if files == nil {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("serve: container has no source manifest (written before format v3, or from a single stream)"))
 		return
 	}
-	name := r.PathValue("name")
+	name := r.PathValue("file")
 	src := -1
 	for i, f := range files {
 		if name == f.File || name == f.Name || (f.Mate != "" && name == f.Mate) {
@@ -257,97 +396,216 @@ func (s *Server) handleFileShards(w http.ResponseWriter, r *http.Request) {
 	}
 	s.n.fileReads.Add(1)
 	l := fileShardsListing{File: files[src]}
-	for i, e := range s.c.Index.Entries {
-		if e.Source == src {
-			l.Index = append(l.Index, s.entryJSON(i, e))
+	for i, ent := range e.C.Index.Entries {
+		if ent.Source == src {
+			l.Index = append(l.Index, e.entryJSON(i, ent))
 		}
 	}
-	writeJSON(w, l)
+	s.writeJSON(w, l)
 }
 
-func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
-	i, ok := s.shardIndex(w, r)
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request, e *Named) {
+	i, ok := s.shardIndex(w, r, e)
 	if !ok {
 		return
 	}
-	blk, err := s.c.Block(i)
+	ent := e.C.Index.Entries[i]
+	tag := blockETag(ent)
+	h := w.Header()
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("ETag", tag)
+	h.Set("X-Sage-Shard-Reads", strconv.Itoa(ent.ReadCount))
+	h.Set("X-Sage-Shard-CRC32", fmt.Sprintf("%08x", ent.Checksum))
+	// Both the 304 and 416 answers come straight from the index: a
+	// revalidation or a bad range costs no container I/O at all.
+	if etagMatch(r.Header.Get("If-None-Match"), tag) {
+		s.n.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	start, length, partial, err := parseRange(r.Header.Get("Range"), ent.Length)
+	if err != nil {
+		h.Set("Content-Range", fmt.Sprintf("bytes */%d", ent.Length))
+		s.fail(w, http.StatusRequestedRangeNotSatisfiable, err)
+		return
+	}
+	blk, err := e.C.Block(i)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.n.blockReads.Add(1)
-	e := s.c.Index.Entries[i]
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Sage-Shard-Reads", strconv.Itoa(e.ReadCount))
-	w.Header().Set("X-Sage-Shard-CRC32", fmt.Sprintf("%08x", e.Checksum))
-	w.Write(blk)
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.FormatInt(length, 10))
+	if partial {
+		s.n.rangeReads.Add(1)
+		h.Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, start+length-1, ent.Length))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	s.writeBody(w, blk[start:start+length])
 }
 
-func (s *Server) handleReads(w http.ResponseWriter, r *http.Request) {
-	i, ok := s.shardIndex(w, r)
+func (s *Server) handleReads(w http.ResponseWriter, r *http.Request, e *Named) {
+	i, ok := s.shardIndex(w, r, e)
 	if !ok {
 		return
 	}
-	data, err := s.decodedShard(i)
+	ent := e.C.Index.Entries[i]
+	tag := s.readsETag(e, ent)
+	h := w.Header()
+	h.Set("ETag", tag)
+	h.Set("X-Sage-Shard-Reads", strconv.Itoa(ent.ReadCount))
+	// Revalidation never decodes: the tag derives from the index crc32.
+	if etagMatch(r.Header.Get("If-None-Match"), tag) {
+		s.n.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	d, err := s.decodedShard(e, i)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	defer d.done()
 	s.n.readReqs.Add(1)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Sage-Shard-Reads", strconv.Itoa(s.c.Index.Entries[i].ReadCount))
-	w.Write(data)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("Content-Length", strconv.FormatInt(d.size, 10))
+	if err := d.writeTo(w); err != nil {
+		s.n.writeFails.Add(1)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Stats())
+	s.writeJSON(w, s.Stats())
 }
 
-// decodedShard returns shard i as FASTQ text: from the cache when warm,
-// otherwise via exactly one decode on the bounded pool no matter how
-// many requests arrive while it runs.
-func (s *Server) decodedShard(i int) ([]byte, error) {
-	if data, ok := s.cache.get(i); ok {
+// decoded is one shard's decoded FASTQ, in one of two shapes: text
+// bytes (the cacheable case) or the record structs themselves (a shard
+// too large for the cache budget, streamed to the client without ever
+// materializing the text). A streaming decoded keeps its decode-pool
+// slot until every consumer is done — the slot is what bounds how many
+// oversized decoded shards can be resident at once — so the flight
+// claims one reference per consumer before handing it out, and each
+// consumer must call done() when its stream finishes; the last one
+// releases the slot.
+type decoded struct {
+	data    []byte
+	rs      *fastq.ReadSet
+	size    int64
+	refs    atomic.Int64
+	release func()
+}
+
+// claim records n consumers about to receive this decoded. The flight
+// group calls it exactly once, before any consumer can run, so done()
+// can never release early. No-op for the cached shape.
+func (d *decoded) claim(n int) {
+	if d.release != nil {
+		d.refs.Add(int64(n))
+	}
+}
+
+// done signals one consumer finished; the last one out releases the
+// decode-pool slot.
+func (d *decoded) done() {
+	if d.release != nil && d.refs.Add(-1) == 0 {
+		d.release()
+	}
+}
+
+// writeTo writes the FASTQ text to w: a single write for materialized
+// text, record-by-record streaming otherwise.
+func (d *decoded) writeTo(w io.Writer) error {
+	if d.data != nil {
+		_, err := w.Write(d.data)
+		return err
+	}
+	return d.rs.Write(w)
+}
+
+// bytes materializes the text (for in-process consumers).
+func (d *decoded) bytes() []byte {
+	if d.data != nil {
+		return d.data
+	}
+	return d.rs.Bytes()
+}
+
+// decodedShard returns shard i of e as decoded FASTQ: from the shared
+// cache when warm, otherwise via exactly one decode on the bounded pool
+// no matter how many requests arrive while it runs. The flight key
+// includes the container name, so the same shard index in two different
+// containers is never falsely deduplicated.
+func (s *Server) decodedShard(e *Named, i int) (*decoded, error) {
+	key := shardKey{container: e.Name, shard: i}
+	if data, ok := s.cache.get(key); ok {
 		s.n.hits.Add(1)
-		return data, nil
+		return &decoded{data: data, size: int64(len(data))}, nil
 	}
 	s.n.misses.Add(1)
-	data, err, shared := s.fl.do(i, func() ([]byte, error) {
+	d, err, shared := s.fl.do(key, func() (*decoded, error) {
 		// Re-check under the flight: a caller that missed the cache can
 		// reach here after an earlier flight for the same shard already
 		// completed and cached; leading a second decode would break the
 		// one-decode-per-cold-shard invariant.
-		if data, ok := s.cache.get(i); ok {
-			return data, nil
+		if data, ok := s.cache.get(key); ok {
+			return &decoded{data: data, size: int64(len(data))}, nil
 		}
 		s.sem <- struct{}{} // bounded decode pool
-		defer func() { <-s.sem }()
 		s.n.decodes.Add(1)
-		rs, err := s.c.DecompressShard(i, s.cons)
+		rs, err := e.C.DecompressShard(i, s.cons)
 		if err != nil {
+			<-s.sem
 			return nil, err
 		}
+		size := int64(rs.UncompressedSize())
+		if size > s.cfg.CacheBytes {
+			// The text could never be cached; skip materializing it and
+			// let the handler stream the records straight to the client.
+			// The decode-pool slot stays held until the LAST sharing
+			// stream finishes (the flight refcounts its consumers):
+			// that is what keeps N slow clients on N oversized shards
+			// from pinning N decoded shards — at most Workers such
+			// shards are resident, the rest of the requests queue here.
+			return &decoded{rs: rs, size: size, release: func() { <-s.sem }}, nil
+		}
 		data := rs.Bytes()
-		s.n.evictions.Add(int64(s.cache.add(i, data)))
-		return data, nil
+		s.n.evictions.Add(int64(s.cache.add(key, data)))
+		<-s.sem
+		return &decoded{data: data, size: size}, nil
 	})
 	if shared {
 		s.n.deduped.Add(1)
 	}
-	return data, err
+	return d, err
 }
 
-// DecodedShard exposes the cached decode path without HTTP, for
-// in-process consumers (bench, tests).
+// DecodedShard exposes the cached decode path of the default container
+// without HTTP, for in-process consumers (bench, tests).
 func (s *Server) DecodedShard(i int) ([]byte, error) {
-	if i < 0 || i >= s.c.NumShards() {
-		return nil, fmt.Errorf("serve: shard %d out of range [0,%d)", i, s.c.NumShards())
-	}
-	return s.decodedShard(i)
+	return s.DecodedShardOf(s.names[0], i)
 }
 
-// ReadSet decodes shard i into records via the same cache (the FASTQ
-// text is reparsed; serving workloads want the bytes, not the structs).
+// DecodedShardOf is DecodedShard for a named container.
+func (s *Server) DecodedShardOf(name string, i int) ([]byte, error) {
+	e, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no container %q", name)
+	}
+	if i < 0 || i >= e.C.NumShards() {
+		return nil, fmt.Errorf("serve: shard %d out of range [0,%d)", i, e.C.NumShards())
+	}
+	d, err := s.decodedShard(e, i)
+	if err != nil {
+		return nil, err
+	}
+	defer d.done()
+	return d.bytes(), nil
+}
+
+// ReadSet decodes shard i of the default container into records via the
+// same cache (the FASTQ text is reparsed; serving workloads want the
+// bytes, not the structs).
 func (s *Server) ReadSet(i int) (*fastq.ReadSet, error) {
 	data, err := s.DecodedShard(i)
 	if err != nil {
@@ -356,9 +614,22 @@ func (s *Server) ReadSet(i int) (*fastq.ReadSet, error) {
 	return fastq.Parse(bytes.NewReader(data))
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON writes v as indented JSON. Encode failures — a client that
+// hung up mid-response, or a dying connection — are counted instead of
+// silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.n.writeFails.Add(1)
+	}
+}
+
+// writeBody writes a fully materialized response body, counting
+// failed/aborted writes.
+func (s *Server) writeBody(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		s.n.writeFails.Add(1)
+	}
 }

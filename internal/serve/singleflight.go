@@ -2,31 +2,38 @@ package serve
 
 import "sync"
 
-// flightGroup deduplicates concurrent decodes of the same shard: while a
-// decode for key is in flight, later callers wait for its result instead
-// of starting their own. This is the property the ISSUE's race test
-// pins: N clients hitting the same cold shard cost exactly one decode.
-// (A hand-rolled minimum of golang.org/x/sync/singleflight — the repo
-// takes no external dependencies.)
+// flightGroup deduplicates concurrent decodes of the same shard of the
+// same container: while a decode for key is in flight, later callers
+// wait for its result instead of starting their own. N clients hitting
+// one cold shard cost exactly one decode — but the key includes the
+// container name, so the same shard index in two different containers
+// is never falsely collapsed into one flight. (A hand-rolled minimum of
+// golang.org/x/sync/singleflight — the repo takes no external
+// dependencies.)
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[int]*flightCall
+	m  map[shardKey]*flightCall
 }
 
 type flightCall struct {
-	done chan struct{}
-	val  []byte
-	err  error
+	done    chan struct{}
+	waiters int // joiners counted under flightGroup.mu
+	val     *decoded
+	err     error
 }
 
 // do invokes fn for key, or joins an in-flight invocation. shared
-// reports whether this caller joined rather than led.
-func (g *flightGroup) do(key int, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+// reports whether this caller joined rather than led. Before any
+// caller is released, the result is claimed once per consumer (leader
+// plus every joiner), so a streaming decoded's pool slot is released
+// only when the last consumer finishes.
+func (g *flightGroup) do(key shardKey, fn func() (*decoded, error)) (val *decoded, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
-		g.m = make(map[int]*flightCall)
+		g.m = make(map[shardKey]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
+		c.waiters++
 		g.mu.Unlock()
 		<-c.done
 		return c.val, c.err, true
@@ -37,8 +44,12 @@ func (g *flightGroup) do(key int, fn func() ([]byte, error)) (val []byte, err er
 
 	c.val, c.err = fn()
 	g.mu.Lock()
-	delete(g.m, key)
+	delete(g.m, key) // later callers start a fresh flight and are not counted here
+	waiters := c.waiters
 	g.mu.Unlock()
+	if c.val != nil {
+		c.val.claim(1 + waiters)
+	}
 	close(c.done)
 	return c.val, c.err, false
 }

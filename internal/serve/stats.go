@@ -5,32 +5,50 @@ import "sync/atomic"
 // counters aggregates the server's lifetime activity with lock-free
 // increments on the request paths.
 type counters struct {
-	indexReads atomic.Int64 // /shards requests served
-	blockReads atomic.Int64 // /shard/{i} raw-block requests served
-	readReqs   atomic.Int64 // /shard/{i}/reads requests served
-	fileReads  atomic.Int64 // /files and /file/{name}/shards requests served
-	hits       atomic.Int64 // decoded-shard cache hits
-	misses     atomic.Int64 // decoded-shard cache misses
-	decodes    atomic.Int64 // actual decodes performed
-	deduped    atomic.Int64 // misses that joined an in-flight decode
-	evictions  atomic.Int64 // cache entries evicted
-	errors     atomic.Int64 // requests answered with an error status
+	indexReads  atomic.Int64 // /containers and /shards requests served
+	blockReads  atomic.Int64 // raw-block requests served with a body (200/206)
+	rangeReads  atomic.Int64 // raw-block requests answered 206 (partial)
+	notModified atomic.Int64 // conditional requests answered 304
+	readReqs    atomic.Int64 // /shard/{i}/reads requests served with a body
+	fileReads   atomic.Int64 // /files and /file/{name}/shards requests served
+	hits        atomic.Int64 // decoded-shard cache hits
+	misses      atomic.Int64 // decoded-shard cache misses
+	decodes     atomic.Int64 // actual decodes performed
+	deduped     atomic.Int64 // misses that joined an in-flight decode
+	evictions   atomic.Int64 // cache entries evicted
+	clientErrs  atomic.Int64 // requests answered with a 4xx status
+	serverErrs  atomic.Int64 // requests answered with a 5xx status (data damage)
+	writeFails  atomic.Int64 // response writes that failed or were aborted
 }
 
 // Stats is a point-in-time snapshot of the server, as served by /stats.
+// Shards and Reads aggregate over every registered container.
 type Stats struct {
-	Shards     int   `json:"shards"`
-	Reads      int   `json:"reads"`
-	IndexReads int64 `json:"index_reads"`
-	BlockReads int64 `json:"block_reads"`
-	ReadReqs   int64 `json:"read_requests"`
-	FileReads  int64 `json:"file_requests"`
-	Hits       int64 `json:"cache_hits"`
-	Misses     int64 `json:"cache_misses"`
-	Decodes    int64 `json:"decodes"`
-	Deduped    int64 `json:"deduped_decodes"`
-	Evictions  int64 `json:"evictions"`
-	Errors     int64 `json:"errors"`
+	Containers  int   `json:"containers"`
+	Shards      int   `json:"shards"`
+	Reads       int   `json:"reads"`
+	IndexReads  int64 `json:"index_reads"`
+	BlockReads  int64 `json:"block_reads"`
+	RangeReads  int64 `json:"range_requests"`
+	NotModified int64 `json:"not_modified"`
+	ReadReqs    int64 `json:"read_requests"`
+	FileReads   int64 `json:"file_requests"`
+	Hits        int64 `json:"cache_hits"`
+	Misses      int64 `json:"cache_misses"`
+	Decodes     int64 `json:"decodes"`
+	Deduped     int64 `json:"deduped_decodes"`
+	Evictions   int64 `json:"evictions"`
+	// ClientErrors counts 4xx answers (bad shard index, unknown
+	// container or file, unsatisfiable range); ServerErrors counts 5xx
+	// answers (checksum mismatch, undecodable block) — the counter to
+	// alert on, since a non-zero value means damaged data. Errors is
+	// their sum, kept for clients of the original combined counter.
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	Errors       int64 `json:"errors"`
+	// WriteFailures counts response bodies that could not be fully
+	// written (client hang-ups, dying connections).
+	WriteFailures int64 `json:"write_failures"`
 	// HitRatio is hits / (hits + misses), 0 before any reads request.
 	HitRatio float64 `json:"hit_ratio"`
 	// CacheBytes / CacheEntries describe the decoded-shard cache right
@@ -45,22 +63,31 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	bytes, entries := s.cache.usage()
 	st := Stats{
-		Shards:       s.c.NumShards(),
-		Reads:        s.c.Index.TotalReads,
-		IndexReads:   s.n.indexReads.Load(),
-		BlockReads:   s.n.blockReads.Load(),
-		ReadReqs:     s.n.readReqs.Load(),
-		FileReads:    s.n.fileReads.Load(),
-		Hits:         s.n.hits.Load(),
-		Misses:       s.n.misses.Load(),
-		Decodes:      s.n.decodes.Load(),
-		Deduped:      s.n.deduped.Load(),
-		Evictions:    s.n.evictions.Load(),
-		Errors:       s.n.errors.Load(),
-		CacheBytes:   bytes,
-		CacheEntries: entries,
-		CacheBudget:  s.cfg.CacheBytes,
-		Workers:      s.cfg.Workers,
+		Containers:    len(s.names),
+		IndexReads:    s.n.indexReads.Load(),
+		BlockReads:    s.n.blockReads.Load(),
+		RangeReads:    s.n.rangeReads.Load(),
+		NotModified:   s.n.notModified.Load(),
+		ReadReqs:      s.n.readReqs.Load(),
+		FileReads:     s.n.fileReads.Load(),
+		Hits:          s.n.hits.Load(),
+		Misses:        s.n.misses.Load(),
+		Decodes:       s.n.decodes.Load(),
+		Deduped:       s.n.deduped.Load(),
+		Evictions:     s.n.evictions.Load(),
+		ClientErrors:  s.n.clientErrs.Load(),
+		ServerErrors:  s.n.serverErrs.Load(),
+		WriteFailures: s.n.writeFails.Load(),
+		CacheBytes:    bytes,
+		CacheEntries:  entries,
+		CacheBudget:   s.cfg.CacheBytes,
+		Workers:       s.cfg.Workers,
+	}
+	st.Errors = st.ClientErrors + st.ServerErrors
+	for _, name := range s.names {
+		e := s.byName[name]
+		st.Shards += e.C.NumShards()
+		st.Reads += e.C.Index.TotalReads
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRatio = float64(st.Hits) / float64(total)

@@ -263,6 +263,131 @@ func (c *Container) DecompressShard(i int, cons genome.Seq) (*fastq.ReadSet, err
 	return rs, nil
 }
 
+// testDecodeStarted, when non-nil, observes every shard decode
+// DecompressTo admits, before the decode runs. Test-only: the
+// bounded-memory test uses it to prove the write-order window keeps
+// decoding from running ahead of a slow writer.
+var testDecodeStarted func(shard int)
+
+// DecompressTo decodes the container shard by shard on up to workers
+// goroutines (<= 0 uses GOMAXPROCS) and streams the reads to w in shard
+// order, record by record. Unlike Decompress, the whole read set is
+// never materialized: at most workers+1 decoded shards are resident at
+// once — shards are admitted into the decode pool only as the writer
+// drains earlier ones — so peak memory is O(workers × shard), not
+// O(container). cons is the fallback consensus for containers written
+// without an embedded one. This is the streaming path behind
+// `sage decompress` and large-shard serving.
+func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) error {
+	n := c.NumShards()
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// window tokens bound the shards admitted but not yet written:
+	// workers decoding plus one decoded shard waiting its turn. The
+	// feeder takes a token BEFORE dispatching a job — admission happens
+	// strictly in shard order, so the lowest unwritten shard is always
+	// among the admitted set and the writer can always make progress
+	// (acquiring tokens worker-side would let shards i+1..i+workers
+	// exhaust the window while shard i's worker still waits for one).
+	// Only the writer returns tokens, one per shard written.
+	window := make(chan struct{}, workers+1)
+	jobs := make(chan int)
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    = make(map[int]*fastq.ReadSet, workers+1)
+		firstErr error
+	)
+	var stop atomic.Bool
+	var pipeline sync.WaitGroup // feeder + workers
+	pipeline.Add(1)
+	go func() { // feeder: admits shards in index order
+		defer pipeline.Done()
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			window <- struct{}{}
+			if stop.Load() {
+				return
+			}
+			jobs <- i
+		}
+	}()
+	for wkr := 0; wkr < workers; wkr++ {
+		pipeline.Add(1)
+		go func() {
+			defer pipeline.Done()
+			for i := range jobs {
+				if stop.Load() {
+					continue
+				}
+				if testDecodeStarted != nil {
+					testDecodeStarted(i)
+				}
+				rs, err := c.DecompressShard(i, cons)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					stop.Store(true)
+				} else {
+					ready[i] = rs
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var writeErr error
+	for i := 0; i < n && writeErr == nil; i++ {
+		mu.Lock()
+		for ready[i] == nil && firstErr == nil {
+			cond.Wait()
+		}
+		if firstErr != nil {
+			mu.Unlock()
+			break
+		}
+		rs := ready[i]
+		delete(ready, i)
+		mu.Unlock()
+		writeErr = rs.Write(w)
+		<-window // the shard left memory: admit the next decode
+	}
+	if writeErr != nil {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = writeErr
+		}
+		mu.Unlock()
+	}
+	if firstErr != nil {
+		// Unwedge the feeder parked on a full window, then wait the
+		// pipeline out (workers drain remaining jobs as no-ops).
+		stop.Store(true)
+		done := make(chan struct{})
+		go func() { pipeline.Wait(); close(done) }()
+		for {
+			select {
+			case <-window:
+			case <-done:
+				return firstErr
+			}
+		}
+	}
+	pipeline.Wait()
+	return nil
+}
+
 // Decompress parses a sharded container and decodes its shards
 // concurrently on up to workers goroutines (<= 0 uses GOMAXPROCS),
 // reassembling reads in shard order. Output is byte-identical for any
