@@ -79,6 +79,12 @@ func BenchmarkShardScaling(b *testing.B) { runExperiment(b, "shard") }
 // (see internal/bench/ingest.go).
 func BenchmarkIngest(b *testing.B) { runExperiment(b, "ingest") }
 
+// BenchmarkInstorage reports the in-storage scan-unit dispatch table:
+// a sharded container placed shard-aligned on the modeled SSD, per-shard
+// flash-read + decode service times scheduled onto 1..8 per-channel
+// scan units (see internal/bench/instorage.go and internal/instorage).
+func BenchmarkInstorage(b *testing.B) { runExperiment(b, "instorage") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

@@ -1,9 +1,16 @@
-// Instorage: integration mode ③ of Fig. 12 — SAGe's decompression units on
-// the SSD controller, feeding GenStore's in-storage filter. Compressed
-// genomic data is written with SAGe_Write (round-robin aligned layout,
-// §5.3), read back at full internal flash bandwidth, decoded functionally
-// with the same Scan Unit / Read Construction Unit logic the hardware
-// uses, filtered in-storage, and handed to the host in 2-bit format.
+// Instorage: integration mode ③ of Fig. 12 — SAGe's decompression units
+// on the SSD controller, driven by the per-shard scan-unit dispatch
+// engine (internal/instorage). A read set is compressed into a sharded
+// container, placed on the SSD model with shard-aligned SAGe_Write
+// placement (shard i on channel i mod C, §5.3), and every shard is
+// streamed from its home channel through that channel's Scan Unit /
+// Read Construction Unit pair: payloads really come back from the
+// device model, are checked against the container's crc32 index, and
+// are functionally decoded. The per-shard times then feed the
+// worker-pool schedule (bench.ShardMakespan), the channel-keyed
+// dispatch (hw.ChannelMakespan), and the pipeline recurrence, before
+// GenStore's in-storage filter picks the survivors that cross the host
+// interface in packed form.
 package main
 
 import (
@@ -13,16 +20,21 @@ import (
 	"time"
 
 	"sage/internal/accel"
+	"sage/internal/bench"
 	"sage/internal/core"
 	"sage/internal/fastq"
 	"sage/internal/genome"
 	"sage/internal/hw"
+	"sage/internal/instorage"
+	"sage/internal/shard"
 	"sage/internal/simulate"
 	"sage/internal/ssd"
 )
 
 func main() {
-	// A read set compressed with SAGe.
+	// A read set compressed into a sharded container: the shard index
+	// (offset, length, crc32 per shard) is the scan units' dispatch
+	// table.
 	rng := rand.New(rand.NewSource(7))
 	ref := genome.Random(rng, 200_000)
 	donor, _ := genome.Donor(rng, ref, genome.HumanLikeProfile())
@@ -30,62 +42,78 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := core.DefaultOptions(ref)
-	opt.IncludeQuality = false // mapping does not read quality scores (§2.1)
-	opt.IncludeHeaders = false
-	enc, err := core.Compress(reads, opt)
+	opt := shard.DefaultOptions(ref)
+	opt.ShardReads = 250            // 16 shards, two per channel
+	opt.Core.IncludeQuality = false // mapping does not read quality scores (§2.1)
+	opt.Core.IncludeHeaders = false
+	data, st, err := shard.Compress(reads, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("container: %d bytes in %d shards (%d reads)\n", st.CompressedBytes, st.Shards, st.Reads)
 
-	// The storage device, and SAGe_Write placing the container.
+	// The storage device, and SAGe_Write placing the container
+	// shard-aligned: every shard starts on a fresh page on its home
+	// channel, so one per-channel scan unit can stream it alone.
 	dev, err := ssd.New(ssd.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	wTime, err := dev.WriteGenomic("rs.sage", enc.Data)
+	eng := instorage.New(dev)
+	placed, err := eng.Place("rs.sage", data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SAGe_Write: %d bytes placed across %d channels in %v (modeled)\n",
-		len(enc.Data), dev.Config().Geometry.Channels, wTime.Round(time.Microsecond))
+	channels := eng.Channels()
+	fmt.Printf("SAGe_Write: placed across %d channels in %v (modeled); shard 0 -> channel %d, shard 1 -> channel %d, ...\n",
+		channels, placed.WriteTime.Round(time.Microsecond),
+		placed.Placement.Shards[0].Channel, placed.Placement.Shards[1].Channel)
 
-	// SAGe_Read: stream at internal bandwidth, decode at line rate.
-	data, rTime, err := dev.ReadGenomicInternal("rs.sage")
-	if err != nil {
-		log.Fatal(err)
-	}
-	decoded, err := core.Decompress(data, nil)
+	// SAGe_Read, shard by shard: each scan unit streams its shard from
+	// flash and decodes at line rate; service time is the slower of the
+	// two (§8.2 makes that the flash read). The sink is the in-storage
+	// consumer: GenStore's filter sees each decoded shard as it leaves
+	// the Read Construction Unit — nothing is re-decoded on the host.
+	// (Functional stand-in for GenStore-EM, which drops exactly-matching
+	// reads: the model's FilterFraction governs timing; keep 1 in 5.)
+	var surviving []fastq.Record
+	decoded := &fastq.ReadSet{}
+	res, err := placed.ScanTo(ref, func(_ int, rs *fastq.ReadSet) {
+		for i := range rs.Records {
+			r := rs.Records[i].Clone()
+			if len(decoded.Records)%5 == 0 {
+				surviving = append(surviving, r)
+			}
+			decoded.Records = append(decoded.Records, r)
+		}
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !fastq.Equivalent(stripMeta(reads), decoded) {
 		log.Fatal("in-SSD decode mismatch")
 	}
-	th := hw.DefaultThroughput(dev.Config().Geometry.Channels)
-	decodeTime := th.DecodeTime(int64(len(data)), int64(decoded.TotalBases()/4),
-		dev.InternalReadBandwidthMBps(true), 0)
-	fmt.Printf("SAGe_Read: flash streaming %v, hardware decode %v (overlapped)\n",
-		rTime.Round(time.Microsecond), decodeTime.Round(time.Microsecond))
+	times := res.ServiceTimes()
+	fmt.Printf("scan: %d reads decoded from flash payloads (crc32-checked), %d B -> %d B\n",
+		res.Reads, res.CompressedBytes, res.OutputBytes)
+	fmt.Printf("  per-shard service = max(flash read, unit decode); decode-bound shards: %d (NAND-bound, §8.2)\n",
+		len(res.DecodeBound()))
+	fmt.Printf("  1 scan unit:  %v\n", bench.ShardMakespan(times, 1).Round(time.Microsecond))
+	fmt.Printf("  %d scan units: %v (%.2fx; keyed per-channel dispatch %v)\n",
+		channels, bench.ShardMakespan(times, channels).Round(time.Microsecond),
+		bench.ShardSpeedup(times, channels), res.ChannelMakespan.Round(time.Microsecond))
+	fmt.Printf("  pipeline (flash-read -> scan-decode): %v, bottleneck %s\n",
+		res.Pipeline.Total.Round(time.Microsecond), res.Pipeline.BottleneckName())
 
-	// GenStore's in-storage filter drops reads that need no expensive
-	// mapping; only survivors cross the host interface.
+	// GenStore's in-storage filter dropped reads that need no expensive
+	// mapping as they streamed past; only survivors cross the host
+	// interface.
 	isf := accel.GenStore(0.80)
-	kept := 0
-	var surviving []fastq.Record
-	for i := range decoded.Records {
-		// Functional stand-in for GenStore-EM: exactly-matching reads
-		// (no mismatches against the reference) are filtered out.
-		if i%5 == 0 { // the model's FilterFraction governs timing; keep 1 in 5
-			surviving = append(surviving, decoded.Records[i])
-			kept++
-		}
-	}
 	filterTime := isf.FilterTime(int64(decoded.TotalBases()))
 	fmt.Printf("ISF: %d of %d reads survive filtering (%.0f%% filtered) in %v (modeled)\n",
-		kept, len(decoded.Records), isf.FilterFraction*100, filterTime.Round(time.Microsecond))
+		len(surviving), len(decoded.Records), isf.FilterFraction*100, filterTime.Round(time.Microsecond))
 
-	// Survivors leave the SSD in the accelerator's 2-bit format (§5.4).
+	// Survivors leave the SSD in the accelerator's packed format (§5.4).
 	surv := &fastq.ReadSet{Records: surviving}
 	packed, err := core.FormatReads(surv, genome.Format3Bit)
 	if err != nil {
@@ -100,7 +128,7 @@ func main() {
 		outBytes/1024, dev.Config().Interface.Name, egress.Round(time.Microsecond),
 		len(reads.Bytes())/1024)
 
-	ap := hw.Totals(dev.Config().Geometry.Channels, hw.ModeInSSD)
+	ap := hw.Totals(channels, hw.ModeInSSD)
 	fmt.Printf("hardware cost: %.4f mm² and %.2f mW across all channels (Table 1)\n",
 		ap.AreaMM2, ap.PowerMW)
 }

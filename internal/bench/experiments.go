@@ -682,6 +682,7 @@ func (s *Suite) experimentList() []struct {
 		{"shard", s.ShardScaling},
 		{"serve", s.ServeExperiment},
 		{"ingest", s.IngestExperiment},
+		{"instorage", s.InstorageExperiment},
 	}
 }
 

@@ -15,6 +15,7 @@
 package hw
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -113,6 +114,11 @@ func DefaultThroughput(channels int) Throughput {
 	return Throughput{StreamMBps: 1600, Channels: channels}
 }
 
+// PipelineFill is the one-batch fill latency charged once per streamed
+// unit of work: the §5.2 units are pipelined, so phases overlap in
+// steady state and only the first batch pays the ramp.
+const PipelineFill = 10 * time.Microsecond
+
 // DecodeTime models decompressing compressedBytes that arrive from flash
 // at supplyMBps aggregate: the decoder array runs at line rate, so the
 // slower of supply and decode capacity dominates; outputBytes then leave
@@ -136,8 +142,66 @@ func (t Throughput) DecodeTime(compressedBytes, outputBytes int64, supplyMBps, e
 			worst = p
 		}
 	}
-	const fill = 10 * time.Microsecond
-	return time.Duration(worst*float64(time.Second)) + fill
+	return time.Duration(worst*float64(time.Second)) + PipelineFill
+}
+
+// UnitDecodeTime models ONE per-channel Scan/Read-Construction pair
+// consuming a single shard's compressed bytes at the per-unit stream
+// rate. DecodeTime aggregates Channels of these for whole-container
+// streaming; the per-shard dispatch engine (internal/instorage) uses
+// the single-unit law, because shard-aligned placement feeds each unit
+// from exactly one channel.
+func (t Throughput) UnitDecodeTime(compressedBytes int64) time.Duration {
+	if compressedBytes <= 0 {
+		return 0
+	}
+	secs := float64(compressedBytes) / (t.StreamMBps * 1e6)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// ShardServiceTime is the per-shard service law of the in-storage scan
+// engine: flash supply and decode overlap in steady state (§5.2), so a
+// shard occupies its scan unit for the slower of the two, plus one
+// pipeline fill. With units sized past the per-channel NAND rate
+// (§8.2), flashRead dominates and decompression disappears behind the
+// flash read itself.
+func (t Throughput) ShardServiceTime(flashRead time.Duration, compressedBytes int64) time.Duration {
+	d := t.UnitDecodeTime(compressedBytes)
+	if flashRead > d {
+		d = flashRead
+	}
+	return d + PipelineFill
+}
+
+// ChannelMakespan schedules per-shard service times onto the scan unit
+// of each shard's home channel: unit c serially processes exactly the
+// shards placed on channel c, and all units run in parallel, so the
+// makespan is the busiest channel's sum. This is the dispatch law keyed
+// by placement — contrast a greedy free-worker pool (bench.
+// ShardMakespan), which may do better because any unit can take any
+// shard.
+func ChannelMakespan(times []time.Duration, channel []int, channels int) (time.Duration, error) {
+	if len(times) != len(channel) {
+		return 0, fmt.Errorf("hw: %d service times for %d channel assignments", len(times), len(channel))
+	}
+	if channels <= 0 {
+		return 0, fmt.Errorf("hw: channel count must be positive, got %d", channels)
+	}
+	busy := make([]time.Duration, channels)
+	for i, d := range times {
+		c := channel[i]
+		if c < 0 || c >= channels {
+			return 0, fmt.Errorf("hw: shard %d assigned to channel %d of %d", i, c, channels)
+		}
+		busy[c] += d
+	}
+	var makespan time.Duration
+	for _, b := range busy {
+		if b > makespan {
+			makespan = b
+		}
+	}
+	return makespan, nil
 }
 
 // Power returns the active power draw in watts for a deployment.

@@ -1,0 +1,80 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnitDecodeTime(t *testing.T) {
+	th := DefaultThroughput(8)
+	if th.UnitDecodeTime(0) != 0 || th.UnitDecodeTime(-5) != 0 {
+		t.Fatal("empty shards decode in zero time")
+	}
+	// One unit at 1600 MB/s: 160 MB takes 100 ms.
+	got := th.UnitDecodeTime(160 << 20)
+	want := time.Duration(float64(160<<20) / 1600e6 * float64(time.Second))
+	if got != want {
+		t.Fatalf("unit decode %v, want %v", got, want)
+	}
+	// The per-unit rate ignores the channel count: the aggregate law is
+	// DecodeTime's business.
+	if th8, th1 := DefaultThroughput(8), DefaultThroughput(1); th8.UnitDecodeTime(1<<20) != th1.UnitDecodeTime(1<<20) {
+		t.Fatal("UnitDecodeTime must be per-unit, not aggregate")
+	}
+}
+
+func TestShardServiceTimeNANDBound(t *testing.T) {
+	th := DefaultThroughput(8)
+	// NAND-bound: flash supplies slower than the unit decodes (§8.2) —
+	// the flash read hides the decode entirely.
+	flash := 10 * time.Millisecond
+	comp := int64(1 << 20) // decodes in ~0.65 ms at 1600 MB/s
+	if d := th.UnitDecodeTime(comp); d >= flash {
+		t.Fatalf("test premise broken: decode %v not under flash %v", d, flash)
+	}
+	if got := th.ShardServiceTime(flash, comp); got != flash+PipelineFill {
+		t.Fatalf("NAND-bound service %v, want flash+fill %v", got, flash+PipelineFill)
+	}
+	// Decode-bound: a huge shard behind a tiny (cached) flash read.
+	comp = int64(1 << 30)
+	if got, want := th.ShardServiceTime(0, comp), th.UnitDecodeTime(comp)+PipelineFill; got != want {
+		t.Fatalf("decode-bound service %v, want %v", got, want)
+	}
+}
+
+func TestChannelMakespan(t *testing.T) {
+	ms := func(times []time.Duration, ch []int, n int) time.Duration {
+		t.Helper()
+		got, err := ChannelMakespan(times, ch, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	times := []time.Duration{3, 1, 4, 1, 5}
+	// All on one channel: serial sum.
+	if got := ms(times, []int{0, 0, 0, 0, 0}, 4); got != 14 {
+		t.Fatalf("single-channel makespan %d, want 14", got)
+	}
+	// Round-robin on 2 channels: ch0 = 3+4+5 = 12, ch1 = 1+1 = 2.
+	if got := ms(times, []int{0, 1, 0, 1, 0}, 2); got != 12 {
+		t.Fatalf("2-channel makespan %d, want 12", got)
+	}
+	// Idle channels don't help or hurt.
+	if got := ms(times, []int{0, 1, 0, 1, 0}, 16); got != 12 {
+		t.Fatalf("extra idle channels changed the makespan to %d", got)
+	}
+	if got := ms(nil, nil, 3); got != 0 {
+		t.Fatalf("empty dispatch makespan %d", got)
+	}
+	// Errors: mismatched lengths, bad channel, non-positive count.
+	if _, err := ChannelMakespan(times, []int{0}, 2); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := ChannelMakespan(times, []int{0, 1, 2, 1, 0}, 2); err == nil {
+		t.Fatal("out-of-range channel must error")
+	}
+	if _, err := ChannelMakespan(nil, nil, 0); err == nil {
+		t.Fatal("zero channels must error")
+	}
+}

@@ -49,6 +49,52 @@ func MakeBatches(reads int, bases, compressed, uncompressed int64, n int) []Batc
 	return out
 }
 
+// MakeShardBatches builds one batch per shard from per-shard totals —
+// the unequal-batch path. MakeBatches' equal splits model a planner
+// that may cut anywhere; a sharded container's shards are given and
+// unequal (file-aware boundaries leave short tails, compression ratios
+// differ shard to shard), so pipelines over them must take the sizes
+// as they are. reads fixes the batch count; the int64 slices must have
+// the same length or be nil (all zero).
+func MakeShardBatches(reads []int, bases, compressed, uncompressed []int64) ([]Batch, error) {
+	n := len(reads)
+	pick := func(name string, s []int64) (func(int) int64, error) {
+		if s == nil {
+			return func(int) int64 { return 0 }, nil
+		}
+		if len(s) != n {
+			return nil, fmt.Errorf("pipeline: %d %s totals for %d shards", len(s), name, n)
+		}
+		return func(i int) int64 { return s[i] }, nil
+	}
+	basesAt, err := pick("bases", bases)
+	if err != nil {
+		return nil, err
+	}
+	compAt, err := pick("compressed", compressed)
+	if err != nil {
+		return nil, err
+	}
+	uncompAt, err := pick("uncompressed", uncompressed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Batch, n)
+	for i := range out {
+		if reads[i] < 0 {
+			return nil, fmt.Errorf("pipeline: shard %d has negative read count %d", i, reads[i])
+		}
+		out[i] = Batch{
+			Index:             i,
+			Reads:             reads[i],
+			Bases:             basesAt(i),
+			CompressedBytes:   compAt(i),
+			UncompressedBytes: uncompAt(i),
+		}
+	}
+	return out, nil
+}
+
 func share(total int64, i, n int) int { return int(share64(total, i, n)) }
 
 func share64(total int64, i, n int) int64 {

@@ -131,3 +131,31 @@ func TestBatchDependentTiming(t *testing.T) {
 		t.Fatalf("total %v", res.Total)
 	}
 }
+
+func TestMakeShardBatches(t *testing.T) {
+	reads := []int{100, 7, 42}
+	comp := []int64{1000, 90, 400}
+	uncomp := []int64{16000, 1100, 6400}
+	bs, err := MakeShardBatches(reads, nil, comp, uncomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("%d batches", len(bs))
+	}
+	for i, b := range bs {
+		if b.Index != i || b.Reads != reads[i] || b.Bases != 0 ||
+			b.CompressedBytes != comp[i] || b.UncompressedBytes != uncomp[i] {
+			t.Fatalf("batch %d = %+v", i, b)
+		}
+	}
+	if _, err := MakeShardBatches(reads, []int64{1}, nil, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := MakeShardBatches([]int{5, -1}, nil, nil, nil); err == nil {
+		t.Fatal("negative read count must error")
+	}
+	if bs, err := MakeShardBatches(nil, nil, nil, nil); err != nil || len(bs) != 0 {
+		t.Fatalf("empty shard list: %v, %d batches", err, len(bs))
+	}
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// dispatchContainer builds a small multi-shard container and returns
+// its bytes.
+func dispatchContainer(t *testing.T) []byte {
+	t.Helper()
+	rs, ref := testSet(t, 250)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 64 // 4 shards
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDispatchTableHandles(t *testing.T) {
+	data := dispatchContainer(t)
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*Container{"parsed": parsed, "opened": opened} {
+		handles := c.Shards()
+		if len(handles) != c.NumShards() {
+			t.Fatalf("%s: %d handles for %d shards", name, len(handles), c.NumShards())
+		}
+		for i, h := range handles {
+			if h.Index() != i {
+				t.Fatalf("%s: handle %d reports index %d", name, i, h.Index())
+			}
+			e := c.Index.Entries[i]
+			if h.Entry() != e {
+				t.Fatalf("%s: handle %d entry mismatch", name, i)
+			}
+			if h.Size() != e.Length {
+				t.Fatalf("%s: handle %d size %d, want %d", name, i, h.Size(), e.Length)
+			}
+			// ContainerOffset points at the block inside the whole file.
+			lo := h.ContainerOffset()
+			if !bytes.Equal(data[lo:lo+h.Size()], mustBlock(t, c, i)) {
+				t.Fatalf("%s: handle %d ContainerOffset does not locate the block", name, i)
+			}
+			// Whole-shard ReadAt == verified Block.
+			buf := make([]byte, h.Size())
+			if _, err := h.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatalf("%s: handle %d ReadAt: %v", name, i, err)
+			}
+			if !bytes.Equal(buf, mustBlock(t, c, i)) {
+				t.Fatalf("%s: handle %d ReadAt bytes differ from Block", name, i)
+			}
+			// A SectionReader over the handle streams the same bytes.
+			streamed, err := io.ReadAll(io.NewSectionReader(h, 0, h.Size()))
+			if err != nil {
+				t.Fatalf("%s: handle %d stream: %v", name, i, err)
+			}
+			if !bytes.Equal(streamed, buf) {
+				t.Fatalf("%s: handle %d streamed bytes differ", name, i)
+			}
+			// Mid-block ranged read.
+			if h.Size() > 4 {
+				part := make([]byte, 3)
+				if _, err := h.ReadAt(part, 1); err != nil && err != io.EOF {
+					t.Fatalf("%s: ranged ReadAt: %v", name, err)
+				}
+				if !bytes.Equal(part, buf[1:4]) {
+					t.Fatalf("%s: handle %d ranged read mismatch", name, i)
+				}
+			}
+		}
+	}
+}
+
+func mustBlock(t *testing.T, c *Container, i int) []byte {
+	t.Helper()
+	b, err := c.Block(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDispatchHandleBounds(t *testing.T) {
+	c, err := Parse(dispatchContainer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Shard(-1); err == nil {
+		t.Fatal("negative shard index must error")
+	}
+	if _, err := c.Shard(c.NumShards()); err == nil {
+		t.Fatal("out-of-range shard index must error")
+	}
+	h, err := c.Shard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative offset must error")
+	}
+	if _, err := h.ReadAt(make([]byte, 1), h.Size()); err != io.EOF {
+		t.Fatal("read at EOF must return io.EOF")
+	}
+	// A read ending exactly at the block boundary reports io.EOF and
+	// never leaks the next shard's bytes.
+	buf := make([]byte, h.Size()+100)
+	n, err := h.ReadAt(buf, 0)
+	if int64(n) != h.Size() || err != io.EOF {
+		t.Fatalf("over-long read = (%d, %v), want (%d, EOF)", n, err, h.Size())
+	}
+}

@@ -140,8 +140,11 @@ type Container struct {
 	// blocks holds the in-memory block section (Parse); nil when the
 	// container was opened lazily.
 	blocks []byte
-	// src and blockBase locate the block section of a lazily opened
-	// container: Block reads src at blockBase+Offset on demand.
+	// src is the backing source of a lazily opened container: Block
+	// reads it at blockBase+Offset on demand. blockBase is the header
+	// length — the block section's offset within the container file —
+	// and is set by Parse too, so per-shard handles can report
+	// container-absolute block offsets either way.
 	src       io.ReaderAt
 	blockBase int64
 }
@@ -444,6 +447,7 @@ func Parse(data []byte) (*Container, error) {
 		return nil, err
 	}
 	c.blocks = data[hdrLen:]
+	c.blockBase = int64(hdrLen)
 	if int64(len(c.blocks)) != c.Index.BlockBytes() {
 		return nil, fmt.Errorf("shard: block section is %d bytes, index describes %d",
 			len(c.blocks), c.Index.BlockBytes())

@@ -43,24 +43,48 @@ func (s *SSD) write(name string, data []byte, genomic bool) (time.Duration, erro
 		} else {
 			b, err = s.conventionalBlock()
 		}
+		if err == nil {
+			err = s.appendPage(meta, b, data[lo:hi])
+		}
 		if err != nil {
+			s.discardPartialWrite(meta)
 			return 0, err
 		}
-		pp, err := s.programPage(b, data[lo:hi])
-		if err != nil {
-			return 0, err
-		}
-		lpn, err := s.allocLPN()
-		if err != nil {
-			return 0, err
-		}
-		s.l2p[lpn] = pp
-		s.p2l[pp] = int32(lpn)
-		meta.lpns = append(meta.lpns, lpn)
 	}
 	s.files[name] = meta
 	s.stats.HostWrittenB += int64(len(data))
 	return s.writeTime(int64(len(data)), genomic), nil
+}
+
+// appendPage programs one page of payload into block b and appends the
+// FTL bookkeeping (l2p/p2l mapping, per-page length) to meta. Every
+// write path funnels through here so the bookkeeping cannot drift
+// between conventional, genomic, and shard-aligned placement.
+func (s *SSD) appendPage(meta *fileMeta, b int, payload []byte) error {
+	lpn, err := s.allocLPN()
+	if err != nil {
+		return err
+	}
+	pp, err := s.programPage(b, payload)
+	if err != nil {
+		s.freeLPNs = append(s.freeLPNs, lpn)
+		return err
+	}
+	s.l2p[lpn] = pp
+	s.p2l[pp] = int32(lpn)
+	meta.lpns = append(meta.lpns, lpn)
+	meta.pageBytes = append(meta.pageBytes, len(payload))
+	return nil
+}
+
+// discardPartialWrite invalidates every page a failed write already
+// programmed, so mid-write errors (out of space, GC dead ends) never
+// leak valid pages no file owns — the blocks become ordinary GC
+// victims and the logical pages return to the free list.
+func (s *SSD) discardPartialWrite(meta *fileMeta) {
+	for _, lpn := range meta.lpns {
+		s.invalidate(lpn)
+	}
 }
 
 // genomicBlock returns the active genomic block for a channel, allocating
@@ -134,18 +158,17 @@ func (s *SSD) readRaw(name string) ([]byte, *fileMeta, error) {
 		return nil, nil, fmt.Errorf("ssd: no such object %q", name)
 	}
 	out := make([]byte, 0, meta.size)
-	for _, lpn := range meta.lpns {
-		p := s.l2p[lpn]
-		if p == invalidPPN {
-			return nil, nil, fmt.Errorf("ssd: %q lost page (lpn %d)", name, lpn)
+	for idx := range meta.lpns {
+		page, err := s.readPage(meta, idx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ssd: %q %w", name, err)
 		}
-		out = append(out, s.pages[p]...)
-		s.stats.PageReads++
+		out = append(out, page...)
 	}
-	if len(out) < meta.size {
+	if len(out) != meta.size {
 		return nil, nil, fmt.Errorf("ssd: %q short read: %d < %d", name, len(out), meta.size)
 	}
-	return out[:meta.size], meta, nil
+	return out, meta, nil
 }
 
 // Delete removes an object and invalidates its pages (trim).

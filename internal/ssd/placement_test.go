@@ -1,0 +1,379 @@
+package ssd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// shardedObject builds a synthetic "container": random data with shard
+// extents after a header-sized gap.
+func shardedObject(seed int64, header int, shardLens []int) ([]byte, []Extent) {
+	total := header
+	exts := make([]Extent, len(shardLens))
+	for i, n := range shardLens {
+		exts[i] = Extent{Offset: int64(total), Length: int64(n)}
+		total += n
+	}
+	data := make([]byte, total)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data, exts
+}
+
+func TestWriteShardsReadShardRoundtrip(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard lengths straddle page boundaries: partial tail pages, a
+	// sub-page shard, and a multi-page shard.
+	ps := cfg.Geometry.PageSize
+	data, exts := shardedObject(3, 137, []int{3*ps + 11, ps / 2, 2 * ps, 1})
+	pl, wt, err := s.WriteShards("c.sage", data, exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt <= 0 {
+		t.Fatal("write time must be positive")
+	}
+	if len(pl.Shards) != len(exts) {
+		t.Fatalf("placement has %d shards, want %d", len(pl.Shards), len(exts))
+	}
+	for i, e := range exts {
+		got, rt, err := s.ReadShard("c.sage", i)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data[e.Offset:e.Offset+e.Length]) {
+			t.Fatalf("shard %d payload mismatch", i)
+		}
+		if rt <= 0 {
+			t.Fatalf("shard %d read time %v", i, rt)
+		}
+		wantPages := (int(e.Length) + ps - 1) / ps
+		if pl.Shards[i].Pages != wantPages {
+			t.Fatalf("shard %d placed on %d pages, want %d", i, pl.Shards[i].Pages, wantPages)
+		}
+		if want := i % cfg.Geometry.Channels; pl.Shards[i].Channel != want {
+			t.Fatalf("shard %d on channel %d, want %d", i, pl.Shards[i].Channel, want)
+		}
+	}
+	// The whole object reads back intact through the host path too.
+	whole, _, err := s.ReadFile("c.sage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole, data) {
+		t.Fatal("whole-object read mismatch")
+	}
+	// Placement() returns the same table WriteShards did.
+	pl2, err := s.Placement("c.sage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pl.Shards {
+		if pl.Shards[i] != pl2.Shards[i] {
+			t.Fatalf("placement table diverged at shard %d: %+v vs %+v", i, pl.Shards[i], pl2.Shards[i])
+		}
+	}
+	if n, err := s.NumShards("c.sage"); err != nil || n != len(exts) {
+		t.Fatalf("NumShards = %d, %v", n, err)
+	}
+}
+
+func TestShardAccessorsRejectPlainObjects(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteGenomic("plain", []byte("not shard-placed")); err != nil {
+		t.Fatal(err)
+	}
+	// Every shard accessor agrees: a plain genomic file is not a
+	// shard-placed object.
+	if _, err := s.NumShards("plain"); err == nil {
+		t.Fatal("NumShards on a plain object must error")
+	}
+	if _, err := s.Placement("plain"); err == nil {
+		t.Fatal("Placement on a plain object must error")
+	}
+	if _, _, err := s.ReadShard("plain", 0); err == nil {
+		t.Fatal("ReadShard on a plain object must error")
+	}
+	// A WriteShards object with zero extents stays distinguishable:
+	// zero shards, not "not shard-placed".
+	if _, _, err := s.WriteShards("empty", []byte("header only"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.NumShards("empty"); err != nil || n != 0 {
+		t.Fatalf("NumShards(empty) = %d, %v; want 0, nil", n, err)
+	}
+	if pl, err := s.Placement("empty"); err != nil || len(pl.Shards) != 0 {
+		t.Fatalf("Placement(empty) = %v, %v; want empty table", pl, err)
+	}
+	if _, _, err := s.ReadShard("empty", 0); err == nil {
+		t.Fatal("ReadShard out of range on an empty placement must error")
+	}
+}
+
+func TestWriteShardsHomeChannelHoldsEveryPage(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := cfg.Geometry.PageSize
+	data, exts := shardedObject(4, ps+3, []int{4 * ps, 3 * ps, 2*ps + 1})
+	if _, _, err := s.WriteShards("x", data, exts); err != nil {
+		t.Fatal(err)
+	}
+	meta := s.files["x"]
+	for i, se := range meta.shards {
+		for k := 0; k < se.lpnCount; k++ {
+			p := s.l2p[meta.lpns[se.lpnLo+k]]
+			b := int(p) / cfg.Geometry.PagesPerBlock
+			if ch := s.channelOfBlock(b); ch != se.channel {
+				t.Fatalf("shard %d page %d on channel %d, home is %d", i, k, ch, se.channel)
+			}
+		}
+	}
+}
+
+func TestWriteShardsValidatesExtents(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for _, tc := range []struct {
+		name string
+		exts []Extent
+	}{
+		{"overlap", []Extent{{0, 100}, {50, 100}}},
+		{"out of order", []Extent{{200, 100}, {0, 100}}},
+		{"past end", []Extent{{0, 5000}}},
+		{"negative", []Extent{{-1, 10}}},
+	} {
+		if _, _, err := s.WriteShards("bad", data, tc.exts); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestReadShardAfterDeleteErrors(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, exts := shardedObject(5, 64, []int{2000, 3000})
+	if _, _, err := s.WriteShards("gone", data, exts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadShard("gone", 0); err == nil {
+		t.Fatal("reading a shard of a deleted object must error")
+	}
+	if _, _, err := s.ReadRange("gone", 0, 10); err == nil {
+		t.Fatal("ranged read of a deleted object must error")
+	}
+	if _, err := s.Placement("gone"); err == nil {
+		t.Fatal("placement of a deleted object must error")
+	}
+}
+
+func TestReadSurfacesLostPages(t *testing.T) {
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, exts := shardedObject(6, 0, []int{5000, 5000})
+	if _, _, err := s.WriteShards("hurt", data, exts); err != nil {
+		t.Fatal(err)
+	}
+	// Break the second shard's first page mapping, as a buggy FTL (or
+	// an unflagged media error) would.
+	meta := s.files["hurt"]
+	s.l2p[meta.lpns[meta.shards[1].lpnLo]] = invalidPPN
+	if _, _, err := s.ReadShard("hurt", 1); err == nil || !strings.Contains(err.Error(), "lost page") {
+		t.Fatalf("expected a lost-page error, got %v", err)
+	}
+	if _, _, err := s.ReadFile("hurt"); err == nil || !strings.Contains(err.Error(), "lost page") {
+		t.Fatalf("whole-file read must surface the lost page, got %v", err)
+	}
+	// The intact shard still reads fine.
+	if _, _, err := s.ReadShard("hurt", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardChannelsSurviveGC(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := cfg.Geometry.PageSize
+	lens := make([]int, 16)
+	for i := range lens {
+		lens[i] = 2*ps + i
+	}
+	data, exts := shardedObject(7, ps, lens)
+	pl, _, err := s.WriteShards("keep.sage", data, exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn unrelated data until GC has moved blocks around.
+	churn := make([]byte, cfg.Geometry.TotalBytes()/2)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 6; i++ {
+		rng.Read(churn)
+		if _, err := s.WriteGenomic("churn", churn); err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+	}
+	if s.Stats().BlockErases == 0 {
+		t.Fatal("expected GC under churn")
+	}
+	// Payloads are intact and the placement table still tells the
+	// truth: GC rewrites genomic victims within their own channel.
+	after, err := s.Placement("keep.sage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := s.files["keep.sage"]
+	for i, e := range exts {
+		got, _, err := s.ReadShard("keep.sage", i)
+		if err != nil {
+			t.Fatalf("shard %d after GC: %v", i, err)
+		}
+		if !bytes.Equal(got, data[e.Offset:e.Offset+e.Length]) {
+			t.Fatalf("shard %d corrupted by GC", i)
+		}
+		if after.Shards[i] != pl.Shards[i] {
+			t.Fatalf("shard %d placement changed under GC: %+v vs %+v", i, after.Shards[i], pl.Shards[i])
+		}
+		se := meta.shards[i]
+		for k := 0; k < se.lpnCount; k++ {
+			p := s.l2p[meta.lpns[se.lpnLo+k]]
+			b := int(p) / cfg.Geometry.PagesPerBlock
+			if ch := s.channelOfBlock(b); ch != se.channel {
+				t.Fatalf("GC moved shard %d page %d off its home channel (%d -> %d)", i, k, se.channel, ch)
+			}
+		}
+	}
+}
+
+func TestReadRangeValidatesAndReads(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := cfg.Geometry.PageSize
+	data, exts := shardedObject(9, 100, []int{ps + 7, 2 * ps})
+	if _, _, err := s.WriteShards("r", data, exts); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ off, n int64 }{
+		{-1, 10}, {0, -1}, {int64(len(data)) - 5, 10}, {int64(len(data)) + 1, 0},
+		{math.MaxInt64, 2}, {2, math.MaxInt64}, // off+length must not overflow past the check
+	} {
+		if _, _, err := s.ReadRange("r", tc.off, tc.n); err == nil {
+			t.Errorf("range [%d,+%d) must be rejected", tc.off, tc.n)
+		}
+	}
+	// Ranges that straddle the partial page at a shard boundary.
+	for _, tc := range []struct{ off, n int64 }{
+		{0, int64(len(data))},
+		{50, 200},
+		{exts[0].Offset + exts[0].Length - 3, 10},
+		{int64(len(data)) - 1, 1},
+		{10, 0},
+	} {
+		got, _, err := s.ReadRange("r", tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("range [%d,+%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(got, data[tc.off:tc.off+tc.n]) {
+			t.Fatalf("range [%d,+%d) mismatch", tc.off, tc.n)
+		}
+	}
+	// Conventional files get the same validation.
+	if _, err := s.WriteFile("plain", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadRange("plain", 8, 5); err == nil {
+		t.Fatal("over-long range on a plain file must be rejected")
+	}
+	got, _, err := s.ReadRange("plain", 2, 5)
+	if err != nil || string(got) != "23456" {
+		t.Fatalf("plain range = %q, %v", got, err)
+	}
+}
+
+func TestFailedWriteLeaksNoPages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Geometry.Channels = 2
+	cfg.Geometry.DiesPerChannel = 1
+	cfg.Geometry.PlanesPerDie = 1
+	cfg.Geometry.BlocksPerPlane = 2
+	cfg.Geometry.PagesPerBlock = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single shard pinned to one channel that exceeds that channel's
+	// capacity: the write must fail partway through.
+	tooBig := make([]byte, int(cfg.Geometry.TotalBytes()))
+	if _, _, err := s.WriteShards("boom", tooBig, []Extent{{0, int64(len(tooBig))}}); err == nil {
+		t.Fatal("expected a mid-write failure")
+	}
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("failed write leaked valid pages: utilization %.3f", u)
+	}
+	// The device is still fully usable: the leaked-page-free blocks can
+	// be reclaimed and a fitting object writes fine.
+	ok := make([]byte, 3*cfg.Geometry.PageSize)
+	if _, _, err := s.WriteShards("ok", ok, []Extent{{0, int64(len(ok))}}); err != nil {
+		t.Fatalf("device unusable after failed write: %v", err)
+	}
+	got, _, err := s.ReadShard("ok", 0)
+	if err != nil || !bytes.Equal(got, ok) {
+		t.Fatalf("post-failure roundtrip broken: %v", err)
+	}
+	// Same guarantee on the plain write path.
+	if _, err := s.WriteFile("boom2", tooBig); err == nil {
+		t.Fatal("expected plain write to fail")
+	}
+	if _, _, err := s.ReadShard("ok", 0); err != nil {
+		t.Fatalf("failed plain write damaged existing object: %v", err)
+	}
+}
+
+func TestShardReadTimeModel(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ShardReadTime(0) != 0 {
+		t.Fatal("zero pages cost zero time")
+	}
+	one, ten := s.ShardReadTime(1), s.ShardReadTime(10)
+	if one <= 0 || ten <= one {
+		t.Fatalf("shard read time must grow with pages: %v, %v", one, ten)
+	}
+	// A one-channel shard stream must be ~1/C of the whole-device
+	// internal rate for the same pages (it only has its channel).
+	g := s.Config().Geometry
+	pages := 64
+	whole := s.InternalReadTime(int64(pages*g.PageSize), true)
+	shard := s.ShardReadTime(pages)
+	if shard < whole {
+		t.Fatalf("one channel (%v) cannot beat all %d channels (%v)", shard, g.Channels, whole)
+	}
+}

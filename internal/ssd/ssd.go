@@ -166,10 +166,18 @@ type SSD struct {
 
 // fileMeta records a stored object.
 type fileMeta struct {
-	name    string
-	size    int
-	lpns    []int
-	genomic bool
+	name string
+	size int
+	lpns []int
+	// pageBytes is the payload length of each logical page (parallel to
+	// lpns): full pages hold PageSize bytes, but shard-aligned placement
+	// (WriteShards) ends every shard extent on a partial page, so reads
+	// must validate against the recorded length, not the geometry.
+	pageBytes []int
+	genomic   bool
+	// shards is the shard placement table of objects written with
+	// WriteShards; nil for plain files.
+	shards []shardExtent
 }
 
 // New builds an empty device.

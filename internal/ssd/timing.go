@@ -61,6 +61,19 @@ func (s *SSD) ExternalReadTime(nBytes int64, genomicLayout bool) time.Duration {
 	return internal
 }
 
+// ShardReadTime models one per-channel scan unit streaming nPages from
+// its home channel's flash arrays (shard-aligned placement keeps every
+// page of the shard on that channel): the channel sustains its aligned
+// multi-plane page rate, and the first page costs a full tR before the
+// stream is primed.
+func (s *SSD) ShardReadTime(nPages int) time.Duration {
+	if nPages <= 0 {
+		return 0
+	}
+	secs := float64(nPages)/s.channelPagesPerSec(true) + s.cfg.Timing.PageRead.Seconds()
+	return time.Duration(secs * float64(time.Second))
+}
+
 // InterfaceTime models moving nBytes across the host link.
 func (s *SSD) InterfaceTime(nBytes int64) time.Duration {
 	if nBytes <= 0 {
