@@ -85,6 +85,11 @@ func BenchmarkIngest(b *testing.B) { runExperiment(b, "ingest") }
 // scan units (see internal/bench/instorage.go and internal/instorage).
 func BenchmarkInstorage(b *testing.B) { runExperiment(b, "instorage") }
 
+// BenchmarkQuery reports compressed-domain query push-down: zone-map
+// shard pruning and the in-storage filter vs decode-everything host
+// baseline across predicate selectivities (see internal/bench/query.go).
+func BenchmarkQuery(b *testing.B) { runExperiment(b, "query") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

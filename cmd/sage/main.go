@@ -60,6 +60,8 @@ func main() {
 		err = cmdCompress(os.Args[2:])
 	case "decompress":
 		err = cmdDecompress(os.Args[2:])
+	case "filter":
+		err = cmdFilter(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "verify":
@@ -146,6 +148,9 @@ commands:
               -out reads.sage (-ref ref.txt | -denovo) [-paired] [-no-quality]
               [-no-headers] [-shard-reads 4096] [-threads N]
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
+  filter      -in reads.sage [-out match.fastq] [-ref ref.txt] [-threads N]
+              [-min-avgphred F] [-max-ee F] [-min-len N] [-max-len N]
+              [-min-gc F] [-max-gc F] [-kmer SEQ]
   inspect     -in reads.sage [-ref ref.txt]
   verify      -a a.fastq -b b.fastq
   serve       -in reads.sage [-in more.sage | -in dir/] [-addr :8844]
@@ -183,6 +188,15 @@ container, and raw blocks honor Range for resumable fetches. Decoded
 shards are cached in one LRU bounded by -cache-bytes shared across all
 containers; concurrent requests for the same cold shard are collapsed
 into one decode on a -threads pool.
+
+filter runs a predicate over a sharded container in the compressed
+domain (format v4): the per-shard zone maps — length/quality/GC
+envelopes and a canonical k-mer sketch — prune shards that provably
+cannot match, so those shards are never read or decoded; only the
+survivors stream through the decoder. Matching records are written as
+FASTQ and a pruning summary goes to stderr. An unset flag places no
+constraint; -kmer prunes via the shard sketches and then matches the
+exact subsequence.
 
 instorage writes a sharded container onto the modeled SSD with
 shard-aligned SAGe_Write placement (shard i on channel i mod
@@ -549,6 +563,97 @@ func cmdDecompress(args []string) error {
 	return err
 }
 
+func cmdFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ContinueOnError)
+	in := fs.String("in", "", "input sharded container")
+	out := fs.String("out", "", "output FASTQ of matching records (default: stdout)")
+	refPath := fs.String("ref", "", "consensus file (only if not embedded)")
+	minAvgPhred := fs.Float64("min-avgphred", 0, "keep reads with mean Phred >= this")
+	maxEE := fs.Float64("max-ee", 0, "keep reads with expected errors <= this")
+	minLen := fs.Int("min-len", 0, "keep reads at least this long")
+	maxLen := fs.Int("max-len", 0, "keep reads at most this long")
+	minGC := fs.Float64("min-gc", 0, "keep reads with GC fraction >= this")
+	maxGC := fs.Float64("max-gc", 0, "keep reads with GC fraction <= this")
+	kmer := fs.String("kmer", "", "keep reads containing this subsequence (ACGTN)")
+	threads := fs.Int("threads", 0, "decode workers for surviving shards (0 = all CPUs)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := checkThreads("filter", *threads); err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef("filter: -in is required")
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"min-avgphred", *minAvgPhred}, {"max-ee", *maxEE},
+		{"min-gc", *minGC}, {"max-gc", *maxGC},
+	} {
+		if f.v < 0 {
+			return usagef("filter: -%s must be >= 0, got %g", f.name, f.v)
+		}
+	}
+	if *minLen < 0 || *maxLen < 0 {
+		return usagef("filter: -min-len and -max-len must be >= 0")
+	}
+	if *minLen > 0 && *maxLen > 0 && *minLen > *maxLen {
+		return usagef("filter: -min-len %d exceeds -max-len %d", *minLen, *maxLen)
+	}
+	if *minGC > 0 && *maxGC > 0 && *minGC > *maxGC {
+		return usagef("filter: -min-gc %g exceeds -max-gc %g", *minGC, *maxGC)
+	}
+	pred := &shard.Predicate{
+		MinAvgPhred: *minAvgPhred, MaxEE: *maxEE,
+		MinLen: *minLen, MaxLen: *maxLen,
+		MinGC: *minGC, MaxGC: *maxGC,
+	}
+	if *kmer != "" {
+		seq, err := genome.FromString(*kmer)
+		if err != nil {
+			return usagef("filter: -kmer: %v", err)
+		}
+		pred.Subseq = seq
+	}
+	var cons genome.Seq
+	var err error
+	if *refPath != "" {
+		if cons, err = readRef(*refPath); err != nil {
+			return err
+		}
+	}
+	c, inF, err := shard.OpenFile(*in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close()
+	w := io.Writer(os.Stdout)
+	var outF *os.File
+	if *out != "" {
+		if outF, err = os.Create(*out); err != nil {
+			return err
+		}
+		w = outF
+	}
+	st, err := c.Filter(w, cons, pred, *threads)
+	if outF != nil {
+		if cerr := outF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !c.HasZoneMaps() {
+		fmt.Fprintf(os.Stderr, "sage filter: note: %s predates format v4 (no zone maps); every shard was scanned\n", *in)
+	}
+	fmt.Fprintf(os.Stderr, "sage filter: %s: %d/%d shards pruned (zero I/O), %d scanned; %d/%d reads matched\n",
+		pred.String(), st.ShardsPruned, st.ShardsTotal, st.ShardsScanned, st.ReadsMatched, st.ReadsScanned)
+	return nil
+}
+
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	in := fs.String("in", "", "input container")
@@ -724,7 +829,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("  /c/%s: %d reads in %d shards (%d B blocks)%s\n",
 			nc.Name, nc.C.Index.TotalReads, nc.C.NumShards(), nc.C.Index.BlockBytes(), def)
 	}
-	fmt.Printf("endpoints: /containers /c/{name}/shards /c/{name}/shard/{i}[/reads] /c/{name}/files /c/{name}/file/{file}/shards /stats\n")
+	fmt.Printf("endpoints: /containers /c/{name}/shards /c/{name}/shard/{i}[/reads] /c/{name}/query /c/{name}/files /c/{name}/file/{file}/shards /stats\n")
 	fmt.Printf("shard responses carry ETag (= index crc32) and Content-Length; If-None-Match answers 304; raw blocks honor Range\n")
 	return http.ListenAndServe(*addr, s)
 }

@@ -683,6 +683,7 @@ func (s *Suite) experimentList() []struct {
 		{"serve", s.ServeExperiment},
 		{"ingest", s.IngestExperiment},
 		{"instorage", s.InstorageExperiment},
+		{"query", s.QueryExperiment},
 	}
 }
 

@@ -63,20 +63,40 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestParseNoQuality(t *testing.T) {
-	in := "@r1\nACGT\n+\n\n@r2\nTTT\n+\n\n"
-	rs, err := Parse(strings.NewReader(in))
+// TestParseEmptyQualityLine pins the truncation guard: a blank quality
+// line under a non-empty sequence is how a file cut off mid-record (or
+// corrupted in transit) usually reads, and the scanner used to accept
+// it silently as an unscored record — turning scored reads into
+// unscored ones and poisoning every downstream quality statistic. It is
+// an error, named by line number.
+func TestParseEmptyQualityLine(t *testing.T) {
+	for _, in := range []string{
+		"@r1\nACGT\n+\n\n",                    // truncated single record
+		"@r1\nACGT\n+\n\n@r2\nTTT\n+\n\n",     // blank quality mid-file
+		"@r1\nACGT\n+\nIIII\n@r2\nTTT\n+\n\n", // scored then truncated
+	} {
+		_, err := Parse(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("blank quality line parsed silently: %q", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), "empty quality line") {
+			t.Errorf("error does not name the blank quality line: %v", err)
+		}
+	}
+	// The error points at the offending line.
+	_, err := Parse(strings.NewReader("@r1\nACGT\n+\nIIII\n@r2\nTTT\n+\n\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 8") {
+		t.Fatalf("error does not carry the line number: %v", err)
+	}
+	// A zero-length read with a zero-length quality line is degenerate
+	// but internally consistent, not a truncation.
+	rs, err := Parse(strings.NewReader("@empty\n\n+\n\n@r2\nTTT\n+\nIII\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs.Records) != 2 {
-		t.Fatalf("got %d records", len(rs.Records))
-	}
-	if rs.Records[0].Qual != nil {
-		t.Fatal("expected nil quality")
-	}
-	if rs.HasQuality() {
-		t.Fatal("HasQuality should be false")
+	if len(rs.Records) != 2 || len(rs.Records[0].Seq) != 0 {
+		t.Fatalf("degenerate record parse: %+v", rs.Records)
 	}
 }
 

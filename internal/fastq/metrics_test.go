@@ -1,0 +1,61 @@
+package fastq
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/genome"
+)
+
+func TestAvgPhred(t *testing.T) {
+	r := Record{Seq: genome.MustFromString("ACGT"), Qual: []byte{10, 20, 30, 40}}
+	avg, ok := r.AvgPhred()
+	if !ok || avg != 25 {
+		t.Fatalf("AvgPhred = %v, %v; want 25, true", avg, ok)
+	}
+	unscored := Record{Seq: genome.MustFromString("ACGT")}
+	if _, ok := unscored.AvgPhred(); ok {
+		t.Fatal("unscored record reported an average Phred")
+	}
+	empty := Record{}
+	if _, ok := empty.AvgPhred(); ok {
+		t.Fatal("empty record reported an average Phred")
+	}
+}
+
+func TestExpectedError(t *testing.T) {
+	// Q10 = 0.1, Q20 = 0.01: EE = 0.11.
+	r := Record{Seq: genome.MustFromString("AC"), Qual: []byte{10, 20}}
+	ee, ok := r.ExpectedError()
+	if !ok || math.Abs(ee-0.11) > 1e-12 {
+		t.Fatalf("ExpectedError = %v, %v; want 0.11, true", ee, ok)
+	}
+	// Q0 means certain error: one base, EE = 1.
+	worst := Record{Seq: genome.MustFromString("A"), Qual: []byte{0}}
+	if ee, ok := worst.ExpectedError(); !ok || ee != 1 {
+		t.Fatalf("Q0 ExpectedError = %v, %v; want 1, true", ee, ok)
+	}
+	unscored := Record{Seq: genome.MustFromString("ACGT")}
+	if _, ok := unscored.ExpectedError(); ok {
+		t.Fatal("unscored record reported an expected error")
+	}
+}
+
+func TestGCFraction(t *testing.T) {
+	cases := []struct {
+		seq  string
+		want float64
+	}{
+		{"GGCC", 1},
+		{"AATT", 0},
+		{"ACGT", 0.5},
+		{"GCNN", 0.5}, // N dilutes like A/T
+		{"", 0},
+	}
+	for _, c := range cases {
+		r := Record{Seq: genome.MustFromString(c.seq)}
+		if got := r.GCFraction(); got != c.want {
+			t.Fatalf("GCFraction(%q) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}

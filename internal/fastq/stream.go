@@ -69,6 +69,15 @@ func (s *Scanner) Next() (Record, error) {
 	s.line++
 	qline := s.sc.Bytes()
 	var qual []byte
+	if len(qline) == 0 && len(seq) > 0 {
+		// A present-but-empty quality line under a non-empty sequence is
+		// how a file truncated mid-record (or corrupted in transit) most
+		// often reads. Accepting it silently would turn scored reads into
+		// unscored ones and poison every downstream quality statistic, so
+		// it is an error; genuinely unscored reads belong in FASTA or in
+		// Record structs with a nil Qual, not in FASTQ text.
+		return Record{}, fmt.Errorf("fastq: line %d: empty quality line for a %d-base read (truncated input?)", s.line, len(seq))
+	}
 	if len(qline) > 0 {
 		if len(qline) != len(seq) {
 			return Record{}, fmt.Errorf("fastq: line %d: %d quality chars for %d bases", s.line, len(qline), len(seq))

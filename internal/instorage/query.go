@@ -1,0 +1,153 @@
+package instorage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"sage/internal/core"
+	"sage/internal/genome"
+	"sage/internal/hw"
+	"sage/internal/shard"
+)
+
+// FilterResult is a predicate scan of a placed container: the query
+// plan (zone-map pruning over the dispatch table), per-surviving-shard
+// timings, and the makespan comparison against the decode-everything
+// host baseline.
+type FilterResult struct {
+	Name      string
+	Predicate string
+	Channels  int
+	// Plan: pruned shards are dropped from the dispatch table by their
+	// zone maps alone — their pages are never read from flash.
+	ShardsTotal   int
+	ShardsPruned  int
+	ShardsScanned int
+	// ReadsScanned counts records the scan units decoded; ReadsMatched
+	// the records that satisfied the predicate.
+	ReadsScanned int
+	ReadsMatched int
+	// CompressedBytes totals the flash bytes actually streamed (the
+	// surviving shards only).
+	CompressedBytes int64
+	// PerShard times the surviving shards, in dispatch order.
+	PerShard []ShardTiming
+	// InStorage is the channel makespan of the surviving shards on
+	// their home channels' scan units; HostBaseline is the makespan of
+	// the decode-everything host path, which must stream and decode
+	// every shard before it can filter a single record. Both use the
+	// same per-shard service law, so Speedup isolates what push-down
+	// saves: the pruned shards' flash reads and decodes.
+	InStorage    time.Duration
+	HostBaseline time.Duration
+	Speedup      float64
+}
+
+// FilterScan runs a predicate over the placed container in storage:
+// the shard index's zone maps prune shards that provably cannot match
+// (zero flash I/O — the device page-read counter does not move for
+// them), and only the surviving shards are streamed from their home
+// channels, decoded by their scan units, and filtered record by
+// record. cons is the fallback consensus for containers without an
+// embedded one.
+//
+// The host baseline is computed from the placement table and the shard
+// index alone — per-shard flash-read and decode times are functions of
+// page counts and compressed lengths, both known without touching the
+// device — so comparing it costs no extra I/O.
+func (p *Placed) FilterScan(cons genome.Seq, pred *shard.Predicate) (*FilterResult, error) {
+	if pred == nil {
+		pred = &shard.Predicate{}
+	}
+	c := p.C
+	if c.Consensus != nil {
+		cons = c.Consensus
+	}
+	scan, pruned := c.QueryPlan(pred)
+	res := &FilterResult{
+		Name:          p.Name,
+		Predicate:     pred.String(),
+		Channels:      p.eng.Channels(),
+		ShardsTotal:   c.NumShards(),
+		ShardsPruned:  pruned,
+		ShardsScanned: len(scan),
+		PerShard:      make([]ShardTiming, 0, len(scan)),
+	}
+	active := pred.Active()
+	for _, i := range scan {
+		blk, flashTime, err := p.eng.Dev.ReadShard(p.Name, i)
+		if err != nil {
+			return nil, fmt.Errorf("instorage: %w", err)
+		}
+		e := c.Index.Entries[i]
+		if got := crc32.ChecksumIEEE(blk); got != e.Checksum {
+			return nil, fmt.Errorf("instorage: shard %d read from flash has checksum %08x, index says %08x",
+				i, got, e.Checksum)
+		}
+		rs, err := core.Decompress(blk, cons)
+		if err != nil {
+			return nil, fmt.Errorf("instorage: decoding shard %d from flash: %w", i, err)
+		}
+		if len(rs.Records) != e.ReadCount {
+			return nil, fmt.Errorf("instorage: shard %d decoded %d reads, index says %d",
+				i, len(rs.Records), e.ReadCount)
+		}
+		matched := 0
+		for j := range rs.Records {
+			if !active || pred.MatchRecord(&rs.Records[j]) {
+				matched++
+			}
+		}
+		pl := p.Placement.Shards[i]
+		res.PerShard = append(res.PerShard, ShardTiming{
+			Shard:           i,
+			Channel:         pl.Channel,
+			Pages:           pl.Pages,
+			CompressedBytes: int64(len(blk)),
+			OutputBytes:     int64(rs.UncompressedSize()),
+			FlashRead:       flashTime,
+			Decode:          p.eng.TP.UnitDecodeTime(int64(len(blk))),
+			Service:         p.eng.TP.ShardServiceTime(flashTime, int64(len(blk))),
+		})
+		res.ReadsScanned += e.ReadCount
+		res.ReadsMatched += matched
+		res.CompressedBytes += int64(len(blk))
+	}
+
+	// Makespans. In-storage: only the survivors occupy their home
+	// channels' units. Host baseline: every shard — the host cannot
+	// prune what it has not decoded, so it pays the full container.
+	times := make([]time.Duration, 0, len(res.PerShard))
+	homes := make([]int, 0, len(res.PerShard))
+	for _, st := range res.PerShard {
+		times = append(times, st.Service)
+		homes = append(homes, st.Channel)
+	}
+	var err error
+	res.InStorage, err = hw.ChannelMakespan(times, homes, res.Channels)
+	if err != nil {
+		return nil, fmt.Errorf("instorage: %w", err)
+	}
+	allTimes := make([]time.Duration, c.NumShards())
+	allHomes := make([]int, c.NumShards())
+	for i := range c.Index.Entries {
+		pl := p.Placement.Shards[i]
+		flash := p.eng.Dev.ShardReadTime(pl.Pages)
+		allTimes[i] = p.eng.TP.ShardServiceTime(flash, c.Index.Entries[i].Length)
+		allHomes[i] = pl.Channel
+	}
+	res.HostBaseline, err = hw.ChannelMakespan(allTimes, allHomes, res.Channels)
+	if err != nil {
+		return nil, fmt.Errorf("instorage: %w", err)
+	}
+	if res.InStorage > 0 {
+		res.Speedup = float64(res.HostBaseline) / float64(res.InStorage)
+	} else if res.HostBaseline > 0 {
+		// Everything pruned: the query was answered from the index
+		// alone, at no streaming cost at all.
+		res.Speedup = math.Inf(1)
+	}
+	return res, nil
+}

@@ -53,18 +53,41 @@ func (c *lruCache) get(key shardKey) ([]byte, bool) {
 // value that cannot fit would only thrash).
 func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 	size := int64(len(data))
-	if size > c.budget {
-		return 0
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		// Concurrent decoders can race to insert the same shard; keep
-		// the resident copy and just refresh its recency.
+		// Re-insert of a resident key (concurrent decoders racing, or a
+		// caller refreshing a shard): the old value must not stay
+		// resident — keeping it would serve stale bytes on the next get
+		// and leave c.bytes accounting the wrong size. Replace the data,
+		// re-account the budget, and evict for any growth; when the new
+		// value exceeds the whole budget, drop the entry entirely.
+		ent := el.Value.(*cacheEntry)
+		if size > c.budget {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.bytes -= int64(len(ent.data))
+			return 0
+		}
+		c.bytes += size - int64(len(ent.data))
+		ent.data = data
 		c.ll.MoveToFront(el)
+		return c.evictOver()
+	}
+	if size > c.budget {
 		return 0
 	}
-	for c.bytes+size > c.budget {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += size
+	return c.evictOver()
+}
+
+// evictOver drops least-recently-used entries until resident bytes fit
+// the budget. The entry just touched sits at the front, so it is only
+// reachable when it is the sole entry — and then it fits by the add()
+// size check. Callers hold c.mu.
+func (c *lruCache) evictOver() (evicted int) {
+	for c.bytes > c.budget {
 		back := c.ll.Back()
 		if back == nil {
 			break
@@ -75,8 +98,6 @@ func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 		c.bytes -= int64(len(ent.data))
 		evicted++
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
-	c.bytes += size
 	return evicted
 }
 

@@ -225,3 +225,47 @@ func TestFlightGroupContainerKeysDistinct(t *testing.T) {
 	close(release)
 	wg.Wait()
 }
+
+// TestLRUReinsertReplacesValue pins the re-insert contract: adding a
+// resident key again must replace the bytes and re-account the budget —
+// the old behavior kept the stale value, so a later get served bytes
+// that no longer matched what the caller had inserted.
+func TestLRUReinsertReplacesValue(t *testing.T) {
+	c := newLRUCache(100)
+	c.add(key(1), []byte("old-value"))
+	c.add(key(1), []byte("new"))
+	got, ok := c.get(key(1))
+	if !ok || string(got) != "new" {
+		t.Fatalf("after re-insert, get = %q, %v; want the new value", got, ok)
+	}
+	if b, n := c.usage(); b != 3 || n != 1 {
+		t.Fatalf("after shrinking re-insert, usage = %d bytes / %d entries, want 3 / 1", b, n)
+	}
+
+	// A growing re-insert re-accounts upward and evicts colder entries
+	// to stay inside the budget.
+	c.add(key(2), val(40))
+	c.add(key(3), val(40))
+	if ev := c.add(key(2), val(90)); ev != 2 {
+		t.Fatalf("growing re-insert evicted %d entries, want 2 (key 1 and key 3)", ev)
+	}
+	got, ok = c.get(key(2))
+	if !ok || len(got) != 90 {
+		t.Fatalf("grown entry = %d bytes, %v; want 90", len(got), ok)
+	}
+	if b, n := c.usage(); b != 90 || n != 1 {
+		t.Fatalf("after growing re-insert, usage = %d bytes / %d entries, want 90 / 1", b, n)
+	}
+
+	// Re-inserting a value larger than the whole budget cannot keep the
+	// stale resident copy either: the entry is dropped outright.
+	if ev := c.add(key(2), val(101)); ev != 0 {
+		t.Fatalf("oversized re-insert evicted %d entries", ev)
+	}
+	if _, ok := c.get(key(2)); ok {
+		t.Fatal("oversized re-insert left a stale value resident")
+	}
+	if b, n := c.usage(); b != 0 || n != 0 {
+		t.Fatalf("after oversized re-insert, usage = %d bytes / %d entries, want 0 / 0", b, n)
+	}
+}

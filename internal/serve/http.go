@@ -47,19 +47,51 @@ func (s *Server) readsETag(e *Named, ent shard.Entry) string {
 
 // etagMatch evaluates an If-None-Match header value against the current
 // entity tag: a "*" or any listed tag matching (weak-compare — a W/
-// prefix is ignored) means the client's copy is current.
+// prefix is ignored) means the client's copy is current. Entity-tags
+// are quoted strings (RFC 9110 §8.8.3), so the list is split on the
+// commas BETWEEN tags — a comma inside a quoted tag is part of that
+// tag, and a naive strings.Split would shred it into fragments that
+// never match. "*" only counts as the whole-header wildcard, not as a
+// list member.
 func etagMatch(header, tag string) bool {
 	if header == "" {
 		return false
 	}
-	for _, cand := range strings.Split(header, ",") {
-		cand = strings.TrimSpace(cand)
-		cand = strings.TrimPrefix(cand, "W/")
-		if cand == "*" || cand == tag {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range splitETags(header) {
+		if strings.TrimPrefix(cand, "W/") == tag {
 			return true
 		}
 	}
 	return false
+}
+
+// splitETags splits an If-None-Match list into entity-tags, honoring
+// quoting: commas inside a quoted tag do not separate. Empty list
+// members (stray commas) are dropped.
+func splitETags(header string) []string {
+	var out []string
+	start, inQuote := 0, false
+	flush := func(end int) {
+		if s := strings.TrimSpace(header[start:end]); s != "" {
+			out = append(out, s)
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(header); i++ {
+		switch header[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				flush(i)
+			}
+		}
+	}
+	flush(len(header))
+	return out
 }
 
 // parseRange interprets a Range header against a size-byte entity. It

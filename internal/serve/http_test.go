@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"sync"
 	"testing"
@@ -572,4 +573,84 @@ func TestStreamingReadsUnderRace(t *testing.T) {
 		}(n)
 	}
 	wg.Wait()
+}
+
+// TestETagMatchQuoting drives etagMatch over RFC 9110 entity-tag lists:
+// quoted tags containing commas, weak validators, the "*" wildcard (a
+// whole-header form, not a list member), and stray separators.
+func TestETagMatchQuoting(t *testing.T) {
+	const tag = `"deadbeef"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{`"deadbeef"`, true},
+		{`W/"deadbeef"`, true}, // weak compare ignores W/
+		{"*", true},
+		{"  *  ", true},
+		{`"other", "deadbeef"`, true},
+		{`"other","deadbeef"`, true},
+		{`"other", W/"deadbeef"`, true},
+		{`"other"`, false},
+		{`"deadbeef-fq"`, false}, // different representation's tag
+		// A comma INSIDE a quoted tag is part of that tag, not a list
+		// separator; a naive split would shred "a,deadbeef" into a
+		// fragment ending in `deadbeef"` that never matches — but it must
+		// also never FALSELY match a real tag.
+		{`"a,deadbeef"`, false},
+		{`"x,y", "deadbeef"`, true},
+		{`"dead,beef", "nope"`, false},
+		{`W/"x,y", W/"deadbeef"`, true},
+		// "*" only counts as the whole header, not as a list member.
+		{`"other", *`, false},
+		// Stray commas are dropped, not matched as empty tags.
+		{`, "deadbeef",`, true},
+		{",,", false},
+		// An unquoted legacy value still matches by exact comparison
+		// against itself only.
+		{"deadbeef", false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, tag); got != c.want {
+			t.Errorf("etagMatch(%q, %q) = %v, want %v", c.header, tag, got, c.want)
+		}
+	}
+	// A tag containing a comma is matched intact from a list.
+	commaTag := `"dead,beef"`
+	if !etagMatch(`"x", "dead,beef"`, commaTag) {
+		t.Error("comma-containing tag did not match from a list")
+	}
+	if etagMatch(`"dead", "beef"`, commaTag) {
+		t.Error("fragments of a comma-containing tag matched")
+	}
+}
+
+// TestShardIndexCanonical pins that only the canonical decimal spelling
+// addresses a shard: "+1", "01", and "1 " would all Atoi to a valid
+// index but must answer 400, so every shard has exactly one URL.
+func TestShardIndexCanonical(t *testing.T) {
+	data, _, _ := testContainer(t, 100, 50)
+	s, ts := newTestServer(t, data, Config{})
+	if resp := do(t, ts.URL+"/shard/1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/shard/1: status %d", resp.StatusCode)
+	}
+	for _, spelling := range []string{"+1", "01", "1 ", " 1", "0x1", "1e0", "--1", "+0"} {
+		resp := do(t, ts.URL+"/shard/"+url.PathEscape(spelling), nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/shard/%q: status %d, want 400", spelling, resp.StatusCode)
+		}
+		resp = do(t, ts.URL+"/shard/"+url.PathEscape(spelling)+"/reads", nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/shard/%q/reads: status %d, want 400", spelling, resp.StatusCode)
+		}
+	}
+	// "-1" is canonical for the integer -1, so it falls to the range
+	// check — a 404, not a 400.
+	if resp := do(t, ts.URL+"/shard/-1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/shard/-1: status %d, want 404", resp.StatusCode)
+	}
+	if st := s.Stats(); st.ServerErrors != 0 {
+		t.Fatalf("server_errors = %d", st.ServerErrors)
+	}
 }

@@ -14,7 +14,16 @@
 //	GET /c/{name}/shard/{i}/reads        shard i decoded to FASTQ text
 //	GET /c/{name}/files                  the source-file manifest
 //	GET /c/{name}/file/{file}/shards     the shards from one source file
+//	GET /c/{name}/query?min-len=…        predicate push-down over zone maps
 //	GET /stats                           server counters and cache occupancy
+//
+// /query is the compressed-domain read path: the predicate in the query
+// string (min-avgphred, max-ee, min-len, max-len, min-gc, max-gc, kmer)
+// is evaluated against the container's v4 zone maps first, and only the
+// shards that can possibly match are decoded — pruned shards cost zero
+// container I/O. Matching records stream back as FASTQ (count=1 returns
+// a JSON summary instead). Containers older than format v4 carry no
+// zone maps, so every shard is scanned there.
 //
 // The pre-registry single-container routes (/shards, /shard/{i},
 // /shard/{i}/reads, /files, /file/{name}/shards) remain as aliases for
@@ -166,6 +175,7 @@ func NewMulti(containers []Named, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /c/{name}/shard/{i}/reads", s.registry(s.handleReads))
 	s.mux.HandleFunc("GET /c/{name}/files", s.registry(s.handleFiles))
 	s.mux.HandleFunc("GET /c/{name}/file/{file}/shards", s.registry(s.handleFileShards))
+	s.mux.HandleFunc("GET /c/{name}/query", s.registry(s.handleQuery))
 	// Legacy single-container aliases, pinned to the default container.
 	def := s.byName[s.names[0]]
 	s.mux.HandleFunc("GET /shards", s.defaulted(def, s.handleIndex))
@@ -173,6 +183,7 @@ func NewMulti(containers []Named, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /shard/{i}/reads", s.defaulted(def, s.handleReads))
 	s.mux.HandleFunc("GET /files", s.defaulted(def, s.handleFiles))
 	s.mux.HandleFunc("GET /file/{file}/shards", s.defaulted(def, s.handleFileShards))
+	s.mux.HandleFunc("GET /query", s.defaulted(def, s.handleQuery))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
 }
@@ -214,11 +225,17 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	http.Error(w, err.Error(), code)
 }
 
-// shardIndex parses and range-checks the {i} path component.
+// shardIndex parses and range-checks the {i} path component. Only the
+// canonical decimal form is accepted: strconv.Atoi would also admit
+// "+1", "01", or " 1"-after-escaping spellings, which would make the
+// same shard addressable under several URLs — each with its own cache
+// headers and log line. Non-canonical spellings are the client's
+// mistake, answered 400.
 func (s *Server) shardIndex(w http.ResponseWriter, r *http.Request, e *Named) (int, bool) {
-	i, err := strconv.Atoi(r.PathValue("i"))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: shard index %q is not an integer", r.PathValue("i")))
+	raw := r.PathValue("i")
+	i, err := strconv.Atoi(raw)
+	if err != nil || strconv.Itoa(i) != raw {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("serve: shard index %q is not a canonical non-negative integer", raw))
 		return 0, false
 	}
 	if i < 0 || i >= e.C.NumShards() {
@@ -266,12 +283,31 @@ func (s *Server) handleContainers(w http.ResponseWriter, r *http.Request) {
 // the container's manifest) and is empty for legacy manifest-less
 // containers.
 type indexEntry struct {
-	Shard  int    `json:"shard"`
-	Reads  int    `json:"reads"`
-	Offset int64  `json:"offset"`
-	Bytes  int64  `json:"bytes"`
-	CRC32  string `json:"crc32"`
-	File   string `json:"file,omitempty"`
+	Shard  int       `json:"shard"`
+	Reads  int       `json:"reads"`
+	Offset int64     `json:"offset"`
+	Bytes  int64     `json:"bytes"`
+	CRC32  string    `json:"crc32"`
+	File   string    `json:"file,omitempty"`
+	Zone   *zoneJSON `json:"zone,omitempty"`
+}
+
+// zoneJSON renders one shard's zone map (format v4) so clients can plan
+// their own pruning without fetching anything. Milli-unit wire fields
+// are rendered back in natural units (Phred points, expected errors, GC
+// fraction).
+type zoneJSON struct {
+	MinLen       int     `json:"min_len"`
+	MaxLen       int     `json:"max_len"`
+	QualReads    int     `json:"qual_reads"`
+	LowQualReads int     `json:"low_qual_reads"`
+	MinAvgPhred  float64 `json:"min_avg_phred"`
+	MaxAvgPhred  float64 `json:"max_avg_phred"`
+	MinEE        float64 `json:"min_ee"`
+	MaxEE        float64 `json:"max_ee"`
+	MinGC        float64 `json:"min_gc"`
+	MaxGC        float64 `json:"max_gc"`
+	SketchFill   float64 `json:"sketch_fill"`
 }
 
 // fileEntry is one source-manifest row, as served by /shards and
@@ -351,6 +387,22 @@ func (e *Named) entryJSON(i int, ent shard.Entry) indexEntry {
 	}
 	if len(e.C.Index.Sources) > 0 {
 		out.File = e.C.Index.Sources[ent.Source].Display()
+	}
+	if e.C.HasZoneMaps() {
+		z := ent.Zone
+		out.Zone = &zoneJSON{
+			MinLen:       z.MinLen,
+			MaxLen:       z.MaxLen,
+			QualReads:    z.QualReads,
+			LowQualReads: z.LowQualReads,
+			MinAvgPhred:  float64(z.MinAvgPhredMilli) / 1000,
+			MaxAvgPhred:  float64(z.MaxAvgPhredMilli) / 1000,
+			MinEE:        float64(z.MinEEMilli) / 1000,
+			MaxEE:        float64(z.MaxEEMilli) / 1000,
+			MinGC:        float64(z.MinGCMilli) / 1000,
+			MaxGC:        float64(z.MaxGCMilli) / 1000,
+			SketchFill:   z.SketchFill(),
+		}
 	}
 	return out
 }

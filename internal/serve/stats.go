@@ -5,20 +5,24 @@ import "sync/atomic"
 // counters aggregates the server's lifetime activity with lock-free
 // increments on the request paths.
 type counters struct {
-	indexReads  atomic.Int64 // /containers and /shards requests served
-	blockReads  atomic.Int64 // raw-block requests served with a body (200/206)
-	rangeReads  atomic.Int64 // raw-block requests answered 206 (partial)
-	notModified atomic.Int64 // conditional requests answered 304
-	readReqs    atomic.Int64 // /shard/{i}/reads requests served with a body
-	fileReads   atomic.Int64 // /files and /file/{name}/shards requests served
-	hits        atomic.Int64 // decoded-shard cache hits
-	misses      atomic.Int64 // decoded-shard cache misses
-	decodes     atomic.Int64 // actual decodes performed
-	deduped     atomic.Int64 // misses that joined an in-flight decode
-	evictions   atomic.Int64 // cache entries evicted
-	clientErrs  atomic.Int64 // requests answered with a 4xx status
-	serverErrs  atomic.Int64 // requests answered with a 5xx status (data damage)
-	writeFails  atomic.Int64 // response writes that failed or were aborted
+	indexReads    atomic.Int64 // /containers and /shards requests served
+	blockReads    atomic.Int64 // raw-block requests served with a body (200/206)
+	rangeReads    atomic.Int64 // raw-block requests answered 206 (partial)
+	notModified   atomic.Int64 // conditional requests answered 304
+	readReqs      atomic.Int64 // /shard/{i}/reads requests served with a body
+	fileReads     atomic.Int64 // /files and /file/{name}/shards requests served
+	queryReqs     atomic.Int64 // /query requests accepted (parseable predicate)
+	shardsPruned  atomic.Int64 // shards zone-map pruning skipped (zero I/O)
+	shardsScanned atomic.Int64 // shards /query had to decode
+	queryMatched  atomic.Int64 // records matched and counted/streamed by /query
+	hits          atomic.Int64 // decoded-shard cache hits
+	misses        atomic.Int64 // decoded-shard cache misses
+	decodes       atomic.Int64 // actual decodes performed
+	deduped       atomic.Int64 // misses that joined an in-flight decode
+	evictions     atomic.Int64 // cache entries evicted
+	clientErrs    atomic.Int64 // requests answered with a 4xx status
+	serverErrs    atomic.Int64 // requests answered with a 5xx status (data damage)
+	writeFails    atomic.Int64 // response writes that failed or were aborted
 }
 
 // Stats is a point-in-time snapshot of the server, as served by /stats.
@@ -33,11 +37,19 @@ type Stats struct {
 	NotModified int64 `json:"not_modified"`
 	ReadReqs    int64 `json:"read_requests"`
 	FileReads   int64 `json:"file_requests"`
-	Hits        int64 `json:"cache_hits"`
-	Misses      int64 `json:"cache_misses"`
-	Decodes     int64 `json:"decodes"`
-	Deduped     int64 `json:"deduped_decodes"`
-	Evictions   int64 `json:"evictions"`
+	// QueryReqs counts accepted /query requests; ShardsPruned and
+	// ShardsScanned partition the shards those queries planned over —
+	// pruned shards cost zero container I/O — and QueryMatched totals
+	// the records they matched.
+	QueryReqs     int64 `json:"query_requests"`
+	ShardsPruned  int64 `json:"shards_pruned"`
+	ShardsScanned int64 `json:"shards_scanned"`
+	QueryMatched  int64 `json:"query_reads_matched"`
+	Hits          int64 `json:"cache_hits"`
+	Misses        int64 `json:"cache_misses"`
+	Decodes       int64 `json:"decodes"`
+	Deduped       int64 `json:"deduped_decodes"`
+	Evictions     int64 `json:"evictions"`
 	// ClientErrors counts 4xx answers (bad shard index, unknown
 	// container or file, unsatisfiable range); ServerErrors counts 5xx
 	// answers (checksum mismatch, undecodable block) — the counter to
@@ -70,6 +82,10 @@ func (s *Server) Stats() Stats {
 		NotModified:   s.n.notModified.Load(),
 		ReadReqs:      s.n.readReqs.Load(),
 		FileReads:     s.n.fileReads.Load(),
+		QueryReqs:     s.n.queryReqs.Load(),
+		ShardsPruned:  s.n.shardsPruned.Load(),
+		ShardsScanned: s.n.shardsScanned.Load(),
+		QueryMatched:  s.n.queryMatched.Load(),
 		Hits:          s.n.hits.Load(),
 		Misses:        s.n.misses.Load(),
 		Decodes:       s.n.decodes.Load(),

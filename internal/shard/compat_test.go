@@ -7,13 +7,16 @@ import (
 	"testing"
 )
 
-// The golden containers under testdata/ were written by the pre-v3
-// writer (format version 1) and must stay decodable forever:
-// docs/FORMAT.md's compatibility rule is that a reader accepts every
-// version up to its own. golden_v2.sage is the same container with the
-// version byte set to 2 (and the header CRC fixed up) — versions 1 and
-// 2 share the manifest-less wire layout, and both legacy paths must
-// keep working alongside v3.
+// The golden containers under testdata/ pin every historical wire
+// version of the same 12-read read set and must stay decodable
+// forever: docs/FORMAT.md's compatibility rule is that a reader
+// accepts every version up to its own. golden_v1.sage was written by
+// the pre-v3 writer; golden_v2.sage is the same container with the
+// version byte set to 2 (and the header CRC fixed up) — versions 1
+// and 2 share the manifest-less wire layout. golden_v3.sage was
+// written by the v3 writer (source-manifest era, no zone maps) and
+// golden_v4.sage by the v4 writer (zone maps + k-mer sketch); all
+// four must keep decoding byte-for-byte alongside the current writer.
 
 func readTestdata(t *testing.T, name string) []byte {
 	t.Helper()
@@ -24,9 +27,9 @@ func readTestdata(t *testing.T, name string) []byte {
 	return data
 }
 
-// TestLegacyContainersDecode proves v1- and v2-era golden containers
-// decode byte-for-byte to their pinned FASTQ under the v3 reader, via
-// both the in-memory (Parse/Decompress) and lazy (Open) paths.
+// TestLegacyContainersDecode proves every historical golden container
+// decodes byte-for-byte to the pinned FASTQ under the current reader,
+// via both the in-memory (Parse/Decompress) and lazy (Open) paths.
 func TestLegacyContainersDecode(t *testing.T) {
 	wantFASTQ := readTestdata(t, "golden_v1.fastq")
 	for _, tc := range []struct {
@@ -35,6 +38,8 @@ func TestLegacyContainersDecode(t *testing.T) {
 	}{
 		{"golden_v1.sage", 1},
 		{"golden_v2.sage", 2},
+		{"golden_v3.sage", 3},
+		{"golden_v4.sage", 4},
 	} {
 		t.Run(tc.file, func(t *testing.T) {
 			data := readTestdata(t, tc.file)
@@ -132,5 +137,54 @@ func TestLegacyGoldenImmutable(t *testing.T) {
 	}
 	if diff == 0 || diff > 5 {
 		t.Fatalf("golden v1/v2 differ at %d bytes, want 1-5 (version byte + header CRC)", diff)
+	}
+	v3 := readTestdata(t, "golden_v3.sage")
+	v4 := readTestdata(t, "golden_v4.sage")
+	if v3[4] != 3 || v4[4] != 4 {
+		t.Fatalf("golden version bytes changed: v3=%d v4=%d", v3[4], v4[4])
+	}
+	if len(v3) != 542 || len(v4) != 795 {
+		t.Fatalf("golden v3/v4 sizes changed: %d, %d (want 542, 795) — regenerated in a new format?",
+			len(v3), len(v4))
+	}
+}
+
+// TestZoneMapCompat pins the version gate of query push-down: only v4
+// containers carry zone maps, so a predicate prunes shards of the v4
+// golden but must scan every shard of the older ones — and pruning
+// must never drop a record the full decode would have matched.
+func TestZoneMapCompat(t *testing.T) {
+	// golden reads are 32 bases long; min-len 100 can match nothing.
+	pred := &Predicate{MinLen: 100}
+	for _, tc := range []struct {
+		file   string
+		zoned  bool
+		pruned int
+	}{
+		{"golden_v1.sage", false, 0},
+		{"golden_v2.sage", false, 0},
+		{"golden_v3.sage", false, 0},
+		{"golden_v4.sage", true, 3},
+	} {
+		c, err := Parse(readTestdata(t, tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.HasZoneMaps() != tc.zoned {
+			t.Fatalf("%s: HasZoneMaps = %v", tc.file, c.HasZoneMaps())
+		}
+		scan, pruned := c.QueryPlan(pred)
+		if pruned != tc.pruned || len(scan) != c.NumShards()-tc.pruned {
+			t.Fatalf("%s: plan scanned %d pruned %d, want pruned %d",
+				tc.file, len(scan), pruned, tc.pruned)
+		}
+		var out bytes.Buffer
+		st, err := c.Filter(&out, nil, pred, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ReadsMatched != 0 || out.Len() != 0 {
+			t.Fatalf("%s: impossible predicate matched %d reads", tc.file, st.ReadsMatched)
+		}
 	}
 }

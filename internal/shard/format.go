@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sage/internal/fastq"
 	"sage/internal/genome"
 )
 
@@ -22,14 +23,29 @@ import (
 var Magic = [4]byte{'S', 'A', 'G', 'S'}
 
 // FormatVersion is the container version the writer emits. Readers
-// additionally accept the legacy manifest-less versions 1 and 2 (which
-// share one wire layout); see docs/FORMAT.md for the version history
-// and compatibility rules.
-const FormatVersion = 3
+// additionally accept every older version: 1 and 2 (one shared
+// manifest-less wire layout) and 3 (source manifest, no zone maps);
+// see docs/FORMAT.md for the version history and compatibility rules.
+const FormatVersion = 4
 
 // manifestVersion is the first version whose header carries a source
 // manifest and per-shard source fields.
 const manifestVersion = 3
+
+// zoneMapVersion is the first version whose header carries a sketch
+// size and whose index entries carry zone maps (per-shard summary
+// statistics plus a k-mer sketch, see zonemap.go).
+const zoneMapVersion = 4
+
+// maxSketchBytes caps the per-shard sketch size a reader accepts: a
+// corrupt sketch-size varint must not drive shardCount × sketch
+// allocations. 1 MiB per shard is far beyond any useful sketch.
+const maxSketchBytes = 1 << 20
+
+// maxZoneLen caps the read lengths a zone map may claim. Mapped reads
+// compress far below 1 byte per base, so the container size cannot
+// bound a read length; 2^40 bases is absurd but safe.
+const maxZoneLen = 1 << 40
 
 // Flag bits.
 const (
@@ -51,6 +67,10 @@ type Entry struct {
 	// Shard boundaries are file-aware, so one index is always enough.
 	// 0 when the container carries no manifest.
 	Source int
+	// Zone holds the shard's summary statistics (v4+). The zero value
+	// means "unknown" for containers read from older versions; queries
+	// then scan the shard instead of pruning it.
+	Zone ZoneMap
 	// Checksum is the CRC-32 (IEEE) of the block bytes.
 	Checksum uint32
 }
@@ -82,6 +102,10 @@ type Index struct {
 	// ShardReads is the target shard size the writer used (0 if the
 	// writer streamed with an unknown total).
 	ShardReads int
+	// SketchBytes is the per-shard k-mer sketch size (v4+). Every
+	// entry's Zone.Sketch has exactly this many bytes; 0 disables
+	// sketching (and is what re-marshaled legacy indexes carry).
+	SketchBytes int
 	// Sources is the source-file manifest (v3+). Empty when the writer
 	// had no file attribution (in-memory or single-stream compression);
 	// otherwise Entry.Source indexes into it.
@@ -152,6 +176,10 @@ type Container struct {
 // NumShards returns the shard count.
 func (c *Container) NumShards() int { return len(c.Index.Entries) }
 
+// HasZoneMaps reports whether the container's wire version carries
+// zone maps; QueryPlan only prunes when it does.
+func (c *Container) HasZoneMaps() bool { return c.Version >= zoneMapVersion }
+
 // marshalHeader encodes magic, version, flags, counts, the optional
 // consensus, the source manifest, and the index. The block section
 // follows it verbatim.
@@ -169,6 +197,10 @@ func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 	buf.WriteByte(flags)
 	writeUvarint(&buf, uint64(ix.TotalReads))
 	writeUvarint(&buf, uint64(ix.ShardReads))
+	if ix.SketchBytes < 0 || ix.SketchBytes > maxSketchBytes {
+		return nil, fmt.Errorf("shard: sketch size %d outside [0,%d]", ix.SketchBytes, maxSketchBytes)
+	}
+	writeUvarint(&buf, uint64(ix.SketchBytes))
 	if cons != nil {
 		writeUvarint(&buf, uint64(len(cons)))
 		f := genome.Format2Bit
@@ -189,17 +221,37 @@ func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 		buf.WriteString(s.Mate)
 		writeUvarint(&buf, uint64(s.Reads))
 	}
-	for _, e := range ix.Entries {
+	for i, e := range ix.Entries {
 		if e.Source < 0 || (e.Source >= len(ix.Sources) && e.Source != 0) {
 			return nil, fmt.Errorf("shard: entry source %d outside the %d-entry manifest", e.Source, len(ix.Sources))
 		}
+		if e.Zone.Sketch != nil && len(e.Zone.Sketch) != ix.SketchBytes {
+			return nil, fmt.Errorf("shard: shard %d sketch is %d bytes, index says %d",
+				i, len(e.Zone.Sketch), ix.SketchBytes)
+		}
 	}
 	writeUvarint(&buf, uint64(len(ix.Entries)))
+	emptySketch := make([]byte, ix.SketchBytes)
 	for _, e := range ix.Entries {
 		writeUvarint(&buf, uint64(e.ReadCount))
 		writeUvarint(&buf, uint64(e.Offset))
 		writeUvarint(&buf, uint64(e.Length))
 		writeUvarint(&buf, uint64(e.Source))
+		z := &e.Zone
+		for _, v := range [...]int{
+			z.MinLen, z.MaxLen, z.QualReads, z.LowQualReads,
+			z.MinPhred, z.AvgPhredMilli, z.MinAvgPhredMilli, z.MaxAvgPhredMilli,
+			z.MinEEMilli, z.MaxEEMilli, z.MinGCMilli, z.MaxGCMilli,
+		} {
+			writeUvarint(&buf, uint64(v))
+		}
+		if z.Sketch != nil {
+			buf.Write(z.Sketch)
+		} else {
+			// A zone-less entry (legacy index re-marshaled) still owes
+			// the index its fixed-size sketch slot.
+			buf.Write(emptySketch)
+		}
 		var cs [4]byte
 		binary.LittleEndian.PutUint32(cs[:], e.Checksum)
 		buf.Write(cs[:])
@@ -278,6 +330,25 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 	}
 	if c.Index.ShardReads, err = ru("shard size"); err != nil {
 		return nil, 0, err
+	}
+	// zu reads a zone-map field: same short-prefix protocol as ru, but
+	// bounded by a semantic cap instead of the container size (zone
+	// statistics like an average-Phred milli-value legitimately exceed
+	// a tiny container's byte count).
+	zu := func(what string, max uint64) (int, error) {
+		v, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return 0, short(what, err)
+		}
+		if v > max {
+			return 0, fmt.Errorf("shard: implausible %s %d (cap %d)", what, v, max)
+		}
+		return int(v), nil
+	}
+	if ver >= zoneMapVersion {
+		if c.Index.SketchBytes, err = zu("sketch size", maxSketchBytes); err != nil {
+			return nil, 0, err
+		}
 	}
 	if flags&flagConsensus != 0 {
 		consLen, err := ru("consensus length")
@@ -358,9 +429,14 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 		return nil, 0, err
 	}
 	// Each index entry occupies at least 7 bytes (three varints plus a
-	// fixed u32 checksum), so a shard count the header cannot physically
-	// hold is corruption, not a short prefix.
-	if int64(nShards) > totalSize/7 {
+	// fixed u32 checksum); v4 entries additionally carry 12 zone-map
+	// varints and the fixed-size sketch. A shard count the header
+	// cannot physically hold is corruption, not a short prefix.
+	minEntry := int64(7)
+	if ver >= zoneMapVersion {
+		minEntry = 8 + 12 + int64(c.Index.SketchBytes)
+	}
+	if int64(nShards) > totalSize/minEntry {
 		return nil, 0, fmt.Errorf("shard: implausible shard count %d for a %d-byte container", nShards, totalSize)
 	}
 	c.Index.Entries = make([]Entry, nShards)
@@ -399,6 +475,11 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 					i, e.Source, i-1, c.Index.Entries[i-1].Source)
 			}
 		}
+		if ver >= zoneMapVersion {
+			if err := parseZoneMap(rd, e, c.Index.SketchBytes, i, zu, short); err != nil {
+				return nil, 0, err
+			}
+		}
 		next += e.Length
 		reads += e.ReadCount
 		var cs [4]byte
@@ -432,6 +513,79 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 			got, binary.LittleEndian.Uint32(hc[:]))
 	}
 	return c, hdrLen, nil
+}
+
+// parseZoneMap decodes one entry's zone-map fields (v4+): 12 bounded
+// varints in writer order plus the fixed-size sketch. Caps are
+// semantic — Phred milli-values by the quality alphabet, GC by 1000,
+// expected error by the shard's own maximum read length — and min/max
+// pairs must be ordered, so a corrupt index cannot smuggle an envelope
+// that re-marshals differently than it parsed.
+func parseZoneMap(rd *bytes.Reader, e *Entry, sketchBytes, i int,
+	zu func(string, uint64) (int, error), short func(string, error) error) error {
+	const maxPhredMilli = fastq.MaxQuality * 1000
+	z := &e.Zone
+	var err error
+	field := func(what string) string { return fmt.Sprintf("shard %d %s", i, what) }
+	if z.MinLen, err = zu(field("min length"), maxZoneLen); err != nil {
+		return err
+	}
+	if z.MaxLen, err = zu(field("max length"), maxZoneLen); err != nil {
+		return err
+	}
+	if z.MinLen > z.MaxLen {
+		return fmt.Errorf("shard: shard %d zone lengths inverted: %d > %d", i, z.MinLen, z.MaxLen)
+	}
+	if z.QualReads, err = zu(field("scored read count"), uint64(e.ReadCount)); err != nil {
+		return err
+	}
+	if z.LowQualReads, err = zu(field("low-quality read count"), uint64(e.ReadCount)); err != nil {
+		return err
+	}
+	if z.MinPhred, err = zu(field("min Phred"), fastq.MaxQuality); err != nil {
+		return err
+	}
+	if z.AvgPhredMilli, err = zu(field("avg Phred"), maxPhredMilli); err != nil {
+		return err
+	}
+	if z.MinAvgPhredMilli, err = zu(field("min avg Phred"), maxPhredMilli); err != nil {
+		return err
+	}
+	if z.MaxAvgPhredMilli, err = zu(field("max avg Phred"), maxPhredMilli); err != nil {
+		return err
+	}
+	if z.MinAvgPhredMilli > z.MaxAvgPhredMilli {
+		return fmt.Errorf("shard: shard %d zone avg Phred inverted: %d > %d", i, z.MinAvgPhredMilli, z.MaxAvgPhredMilli)
+	}
+	maxEE := uint64(z.MaxLen+1) * 1000
+	if z.MinEEMilli, err = zu(field("min expected error"), maxEE); err != nil {
+		return err
+	}
+	if z.MaxEEMilli, err = zu(field("max expected error"), maxEE); err != nil {
+		return err
+	}
+	if z.MinEEMilli > z.MaxEEMilli {
+		return fmt.Errorf("shard: shard %d zone expected error inverted: %d > %d", i, z.MinEEMilli, z.MaxEEMilli)
+	}
+	if z.MinGCMilli, err = zu(field("min GC"), 1000); err != nil {
+		return err
+	}
+	if z.MaxGCMilli, err = zu(field("max GC"), 1000); err != nil {
+		return err
+	}
+	if z.MinGCMilli > z.MaxGCMilli {
+		return fmt.Errorf("shard: shard %d zone GC inverted: %d > %d", i, z.MinGCMilli, z.MaxGCMilli)
+	}
+	if sketchBytes > 0 {
+		if sketchBytes > rd.Len() {
+			return short(field("sketch"), io.ErrUnexpectedEOF)
+		}
+		z.Sketch = make([]byte, sketchBytes)
+		if _, err := io.ReadFull(rd, z.Sketch); err != nil {
+			return short(field("sketch"), err)
+		}
+	}
+	return nil
 }
 
 // Parse reads the header and index and validates the index against the

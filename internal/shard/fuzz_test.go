@@ -36,7 +36,28 @@ func FuzzParseHeader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(plain)
-	for _, name := range []string{"golden_v1.sage", "golden_v2.sage"} {
+	// A v4 header with populated zone maps and a non-zero sketch, so the
+	// fuzzer mutates the zone fields and their semantic caps from a
+	// valid starting point.
+	zoned := &Index{TotalReads: 3, ShardReads: 2, SketchBytes: 4,
+		Entries: []Entry{
+			{ReadCount: 2, Offset: 0, Length: 30,
+				Zone: ZoneMap{MinLen: 10, MaxLen: 12, QualReads: 2, LowQualReads: 1,
+					MinPhred: 2, AvgPhredMilli: 30500, MinAvgPhredMilli: 12000,
+					MaxAvgPhredMilli: 38000, MinEEMilli: 20, MaxEEMilli: 2500,
+					MinGCMilli: 400, MaxGCMilli: 600, Sketch: []byte{1, 2, 3, 4}},
+				Checksum: 0xDEADBEEF},
+			{ReadCount: 1, Offset: 30, Length: 13,
+				Zone: ZoneMap{MinLen: 8, MaxLen: 8, MinGCMilli: 250, MaxGCMilli: 250,
+					Sketch: []byte{0xff, 0, 0xff, 0}},
+				Checksum: 0xCAFEF00D},
+		}}
+	zhdr, err := marshalHeader(zoned, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zhdr)
+	for _, name := range []string{"golden_v1.sage", "golden_v2.sage", "golden_v3.sage", "golden_v4.sage"} {
 		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
 			f.Add(data)
 		}
@@ -58,6 +79,18 @@ func FuzzParseHeader(f *testing.F) {
 			reads += e.ReadCount
 			if len(c.Index.Sources) > 0 && e.Source >= len(c.Index.Sources) {
 				t.Fatalf("entry %d source %d out of manifest range %d", i, e.Source, len(c.Index.Sources))
+			}
+			z := e.Zone
+			if z.MinLen > z.MaxLen || z.MinAvgPhredMilli > z.MaxAvgPhredMilli ||
+				z.MinEEMilli > z.MaxEEMilli || z.MinGCMilli > z.MaxGCMilli {
+				t.Fatalf("entry %d accepted an inverted zone envelope: %+v", i, z)
+			}
+			if z.QualReads > e.ReadCount || z.LowQualReads > e.ReadCount {
+				t.Fatalf("entry %d zone counts %d/%d scored reads for %d records",
+					i, z.QualReads, z.LowQualReads, e.ReadCount)
+			}
+			if c.Version >= 4 && len(z.Sketch) != c.Index.SketchBytes {
+				t.Fatalf("entry %d sketch is %d bytes, header says %d", i, len(z.Sketch), c.Index.SketchBytes)
 			}
 		}
 		if reads != c.Index.TotalReads {

@@ -13,20 +13,34 @@ import (
 // bump FormatVersion and regenerate the golden bytes deliberately (and
 // update docs/FORMAT.md to match).
 func TestGoldenHeaderBytes(t *testing.T) {
-	ix := &Index{TotalReads: 5, ShardReads: 2, Entries: []Entry{
-		{ReadCount: 2, Offset: 0, Length: 300, Checksum: 0xDEADBEEF},
-		{ReadCount: 2, Offset: 300, Length: 287, Checksum: 0x01020304},
-		{ReadCount: 1, Offset: 587, Length: 131, Checksum: 0xCAFEF00D},
+	zones := []ZoneMap{
+		{MinLen: 10, MaxLen: 12, QualReads: 2, LowQualReads: 1, MinPhred: 2,
+			AvgPhredMilli: 30500, MinAvgPhredMilli: 12000, MaxAvgPhredMilli: 38000,
+			MinEEMilli: 20, MaxEEMilli: 2500, MinGCMilli: 400, MaxGCMilli: 600,
+			Sketch: []byte{0x01, 0x02, 0x03, 0x04}},
+		{MinLen: 11, MaxLen: 11, QualReads: 2, LowQualReads: 0, MinPhred: 20,
+			AvgPhredMilli: 35000, MinAvgPhredMilli: 34000, MaxAvgPhredMilli: 36000,
+			MinEEMilli: 1, MaxEEMilli: 40, MinGCMilli: 0, MaxGCMilli: 1000,
+			Sketch: []byte{0xff, 0x00, 0xff, 0x00}},
+		{MinLen: 8, MaxLen: 8, QualReads: 0, LowQualReads: 0, MinPhred: 0,
+			AvgPhredMilli: 0, MinAvgPhredMilli: 0, MaxAvgPhredMilli: 0,
+			MinEEMilli: 0, MaxEEMilli: 0, MinGCMilli: 250, MaxGCMilli: 250,
+			Sketch: []byte{0x10, 0x20, 0x30, 0x40}},
+	}
+	ix := &Index{TotalReads: 5, ShardReads: 2, SketchBytes: 4, Entries: []Entry{
+		{ReadCount: 2, Offset: 0, Length: 300, Zone: zones[0], Checksum: 0xDEADBEEF},
+		{ReadCount: 2, Offset: 300, Length: 287, Zone: zones[1], Checksum: 0x01020304},
+		{ReadCount: 1, Offset: 587, Length: 131, Zone: zones[2], Checksum: 0xCAFEF00D},
 	}}
-	withSources := &Index{TotalReads: 5, ShardReads: 2,
+	withSources := &Index{TotalReads: 5, ShardReads: 2, SketchBytes: 4,
 		Sources: []SourceFile{
 			{Name: "lane1_R1.fq", Mate: "lane1_R2.fq", Reads: 4},
 			{Name: "lane2.fq", Reads: 1},
 		},
 		Entries: []Entry{
-			{ReadCount: 2, Offset: 0, Length: 300, Source: 0, Checksum: 0xDEADBEEF},
-			{ReadCount: 2, Offset: 300, Length: 287, Source: 0, Checksum: 0x01020304},
-			{ReadCount: 1, Offset: 587, Length: 131, Source: 1, Checksum: 0xCAFEF00D},
+			{ReadCount: 2, Offset: 0, Length: 300, Source: 0, Zone: zones[0], Checksum: 0xDEADBEEF},
+			{ReadCount: 2, Offset: 300, Length: 287, Source: 0, Zone: zones[1], Checksum: 0x01020304},
+			{ReadCount: 1, Offset: 587, Length: 131, Source: 1, Zone: zones[2], Checksum: 0xCAFEF00D},
 		}}
 	cases := []struct {
 		name string
@@ -38,30 +52,40 @@ func TestGoldenHeaderBytes(t *testing.T) {
 			name: "no consensus",
 			ix:   ix,
 			cons: nil,
-			hex: "534147530300050200030200ac0200efbeadde02ac029f0200040302" +
-				"0101cb048301000df0fecaf0aa129a",
+			hex: "53414753040005020400030200ac02000a0c020102a4ee01e05df0a8" +
+				"0214c4139003d80401020304efbeadde02ac029f02000b0b020014b8" +
+				"9102d08902a09902012800e807ff00ff000403020101cb0483010008" +
+				"080000000000000000fa01fa01102030400df0fecaee9d70d9",
 		},
 		{
 			name: "2-bit consensus",
 			ix:   ix,
 			cons: genome.MustFromString("ACGTACGTAC"),
-			hex: "53414753030105020a1b1b1000030200ac0200efbeadde02ac029f02" +
-				"000403020101cb048301000df0fecaae13d14b",
+			hex: "5341475304010502040a1b1b1000030200ac02000a0c020102a4ee01" +
+				"e05df0a80214c4139003d80401020304efbeadde02ac029f02000b0b" +
+				"020014b89102d08902a09902012800e807ff00ff000403020101cb04" +
+				"83010008080000000000000000fa01fa01102030400df0feca2ebcbc" +
+				"67",
 		},
 		{
 			name: "3-bit consensus with N",
 			ix:   ix,
 			cons: genome.MustFromString("ACGTN"),
-			hex: "534147530303050205053800030200ac0200efbeadde02ac029f0200" +
-				"0403020101cb048301000df0fecad5371886",
+			hex: "53414753040305020405053800030200ac02000a0c020102a4ee01e0" +
+				"5df0a80214c4139003d80401020304efbeadde02ac029f02000b0b02" +
+				"0014b89102d08902a09902012800e807ff00ff000403020101cb0483" +
+				"010008080000000000000000fa01fa01102030400df0feca81ee4fd5",
 		},
 		{
 			name: "source manifest",
 			ix:   withSources,
 			cons: nil,
-			hex: "5341475303000502020b6c616e65315f52312e66710b6c616e65315f" +
-				"52322e667104086c616e65322e66710001030200ac0200efbeadde02" +
-				"ac029f02000403020101cb048301010df0fecae4152b3a",
+			hex: "534147530400050204020b6c616e65315f52312e66710b6c616e6531" +
+				"5f52322e667104086c616e65322e66710001030200ac02000a0c0201" +
+				"02a4ee01e05df0a80214c4139003d80401020304efbeadde02ac029f" +
+				"02000b0b020014b89102d08902a09902012800e807ff00ff00040302" +
+				"0101cb0483010108080000000000000000fa01fa01102030400df0fe" +
+				"ca0d3ec17f",
 		},
 	}
 	for _, c := range cases {
@@ -88,7 +112,7 @@ func TestGoldenConstants(t *testing.T) {
 	if string(Magic[:]) != "SAGS" {
 		t.Fatalf("magic changed: %q", Magic[:])
 	}
-	if FormatVersion != 3 {
+	if FormatVersion != 4 {
 		t.Fatalf("format version changed: %d", FormatVersion)
 	}
 }

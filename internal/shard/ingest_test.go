@@ -288,7 +288,7 @@ func TestInspectManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"sharded container v3",
+		"sharded container v4",
 		"source", "lane1.fq", "lane2.fq",
 		"files: 2 sources",
 		"file-aware",

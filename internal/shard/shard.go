@@ -27,6 +27,11 @@ type Options struct {
 	// Workers bounds the compression worker pool (<= 0 uses
 	// GOMAXPROCS). Worker count never changes the output bytes.
 	Workers int
+	// SketchBytes sizes the per-shard zone-map k-mer sketch; <= 0
+	// auto-sizes it from the shard size (SketchBytesPerRead per read,
+	// clamped). Larger sketches discriminate better for base-heavy
+	// shards at a linear index cost.
+	SketchBytes int
 	// Core parameterizes the per-shard codec. Core.EmbedConsensus
 	// selects container-level consensus embedding: the consensus is
 	// stored once in the shard index header (never per block).
@@ -50,6 +55,20 @@ func (o *Options) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
+}
+
+func (o *Options) sketchBytes() int {
+	if o.SketchBytes > 0 {
+		return o.SketchBytes
+	}
+	n := o.shardReads() * SketchBytesPerRead
+	if n < MinSketchBytes {
+		n = MinSketchBytes
+	}
+	if n > MaxAutoSketchBytes {
+		n = MaxAutoSketchBytes
+	}
+	return n
 }
 
 // blockOptions derives the per-shard core options: the consensus lives
@@ -133,6 +152,7 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 		blocks   [][]byte
 		counts   []int
 		sources  []int
+		zones    []ZoneMap
 		firstErr error
 	)
 	var stop atomic.Bool
@@ -161,15 +181,21 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 					fail(fmt.Errorf("shard: compressing shard %d: %w", b.Index, err))
 					continue
 				}
+				// Zone maps summarize the records the codec will decode
+				// back out: when quality is discarded, the quality
+				// statistics must report "unscored" too.
+				zm := ComputeZoneMap(b.Records, opt.sketchBytes(), blockOpt.IncludeQuality)
 				mu.Lock()
 				for len(blocks) <= b.Index {
 					blocks = append(blocks, nil)
 					counts = append(counts, 0)
 					sources = append(sources, 0)
+					zones = append(zones, ZoneMap{})
 				}
 				blocks[b.Index] = enc.Data
 				counts[b.Index] = len(b.Records)
 				sources[b.Index] = b.Source
+				zones[b.Index] = zm
 				mu.Unlock()
 			}
 		}()
@@ -191,7 +217,8 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 		return nil, firstErr
 	}
 
-	ix := &Index{ShardReads: opt.shardReads(), Entries: make([]Entry, len(blocks))}
+	ix := &Index{ShardReads: opt.shardReads(), SketchBytes: opt.sketchBytes(),
+		Entries: make([]Entry, len(blocks))}
 	if mr != nil {
 		for _, s := range mr.Sources() {
 			ix.Sources = append(ix.Sources, SourceFile{Name: s.Name, Mate: s.Mate})
@@ -208,6 +235,7 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 			Offset:    off,
 			Length:    int64(len(blk)),
 			Source:    sources[i],
+			Zone:      zones[i],
 			Checksum:  crc32.ChecksumIEEE(blk),
 		}
 		off += int64(len(blk))
@@ -279,9 +307,23 @@ var testDecodeStarted func(shard int)
 // without an embedded one. This is the streaming path behind
 // `sage decompress` and large-shard serving.
 func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) error {
-	n := c.NumShards()
+	list := make([]int, c.NumShards())
+	for i := range list {
+		list[i] = i
+	}
+	_, err := c.streamShards(w, cons, workers, list, nil)
+	return err
+}
+
+// streamShards is the bounded-memory streaming engine shared by
+// DecompressTo and Filter: the shards named by list decode on a worker
+// pool and their records stream to w in list order. keep, when non-nil,
+// drops non-matching records worker-side before the shard ever reaches
+// the writer. Returns the number of records written.
+func (c *Container) streamShards(w io.Writer, cons genome.Seq, workers int, list []int, keep func(*fastq.Record) bool) (int, error) {
+	n := len(list)
 	if n == 0 {
-		return nil
+		return 0, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -328,10 +370,22 @@ func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) erro
 				if stop.Load() {
 					continue
 				}
+				shardID := list[i]
 				if testDecodeStarted != nil {
-					testDecodeStarted(i)
+					testDecodeStarted(shardID)
 				}
-				rs, err := c.DecompressShard(i, cons)
+				rs, err := c.DecompressShard(shardID, cons)
+				if err == nil && keep != nil {
+					// Filter worker-side so non-matching records never
+					// occupy the write-order window.
+					kept := make([]fastq.Record, 0, len(rs.Records))
+					for r := range rs.Records {
+						if keep(&rs.Records[r]) {
+							kept = append(kept, rs.Records[r])
+						}
+					}
+					rs = &fastq.ReadSet{Records: kept}
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -347,6 +401,7 @@ func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) erro
 		}()
 	}
 
+	written := 0
 	var writeErr error
 	for i := 0; i < n && writeErr == nil; i++ {
 		mu.Lock()
@@ -361,6 +416,9 @@ func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) erro
 		delete(ready, i)
 		mu.Unlock()
 		writeErr = rs.Write(w)
+		if writeErr == nil {
+			written += len(rs.Records)
+		}
 		<-window // the shard left memory: admit the next decode
 	}
 	if writeErr != nil {
@@ -380,12 +438,12 @@ func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) erro
 			select {
 			case <-window:
 			case <-done:
-				return firstErr
+				return written, firstErr
 			}
 		}
 	}
 	pipeline.Wait()
-	return nil
+	return written, nil
 }
 
 // Decompress parses a sharded container and decodes its shards
