@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -155,6 +156,7 @@ commands:
   verify      -a a.fastq -b b.fastq
   serve       -in reads.sage [-in more.sage | -in dir/] [-addr :8844]
               [-ref ref.txt] [-cache-bytes N] [-threads N]
+              [-pprof-addr :8845] [-slow-ms N]
   instorage   -in reads.sage [-ref ref.txt] [-channels 8]
 
 compress with -shard-reads 0 emits a single-block container; any other
@@ -188,6 +190,14 @@ container, and raw blocks honor Range for resumable fetches. Decoded
 shards are cached in one LRU bounded by -cache-bytes shared across all
 containers; concurrent requests for the same cold shard are collapsed
 into one decode on a -threads pool.
+
+serve is fully instrumented: every response echoes X-Sage-Request-Id
+(the client's, or a minted one), GET /metrics exposes per-endpoint
+latency histograms, decode-pool queue-wait/decode histograms, and every
+/stats counter in Prometheus text format, -slow-ms logs structured
+slow-request lines with per-stage attribution to stderr, and
+-pprof-addr serves net/http/pprof on a separate address (keep it
+private — it is deliberately not on the data-plane listener).
 
 filter runs a predicate over a sharded container in the compressed
 domain (format v4): the per-shard zone maps — length/quality/GC
@@ -762,8 +772,13 @@ func cmdServe(args []string) error {
 	refPath := fs.String("ref", "", "consensus file (only if not embedded in the containers)")
 	cacheBytes := fs.Int64("cache-bytes", serve.DefaultCacheBytes, "decoded-shard cache budget in bytes, shared across containers")
 	threads := fs.Int("threads", 0, "decode workers (0 = all CPUs)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this extra address (empty = off)")
+	slowMs := fs.Int("slow-ms", 0, "log requests slower than this many milliseconds to stderr (0 = off)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *slowMs < 0 {
+		return usagef("serve: -slow-ms must be >= 0, got %d", *slowMs)
 	}
 	if err := checkThreads("serve", *threads); err != nil {
 		return err
@@ -810,7 +825,11 @@ func cmdServe(args []string) error {
 		defer f.Close()
 		named = append(named, serve.Named{Name: containerName(path), C: c})
 	}
-	cfg := serve.Config{CacheBytes: *cacheBytes, Workers: *threads}
+	cfg := serve.Config{
+		CacheBytes:  *cacheBytes,
+		Workers:     *threads,
+		SlowRequest: time.Duration(*slowMs) * time.Millisecond,
+	}
 	if *refPath != "" {
 		if cfg.Consensus, err = readRef(*refPath); err != nil {
 			return err
@@ -819,6 +838,24 @@ func cmdServe(args []string) error {
 	s, err := serve.NewMulti(named, cfg)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// pprof lives on its own listener and mux, never the serving
+		// address: profiling endpoints must not be reachable by shard
+		// clients, and the import's DefaultServeMux registration must
+		// not leak into the data plane.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Printf("pprof on %s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: pprof listener: %v\n", err)
+			}
+		}()
 	}
 	fmt.Printf("serving %d container(s) on %s (shared cache budget %d B):\n", len(named), *addr, *cacheBytes)
 	for i, nc := range named {
@@ -829,7 +866,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("  /c/%s: %d reads in %d shards (%d B blocks)%s\n",
 			nc.Name, nc.C.Index.TotalReads, nc.C.NumShards(), nc.C.Index.BlockBytes(), def)
 	}
-	fmt.Printf("endpoints: /containers /c/{name}/shards /c/{name}/shard/{i}[/reads] /c/{name}/query /c/{name}/files /c/{name}/file/{file}/shards /stats\n")
+	fmt.Printf("endpoints: /containers /c/{name}/shards /c/{name}/shard/{i}[/reads] /c/{name}/query /c/{name}/files /c/{name}/file/{file}/shards /stats /metrics\n")
 	fmt.Printf("shard responses carry ETag (= index crc32) and Content-Length; If-None-Match answers 304; raw blocks honor Range\n")
 	return http.ListenAndServe(*addr, s)
 }
@@ -897,6 +934,7 @@ func cmdInstorage(args []string) error {
 	}
 	fmt.Printf("scanned: %d reads, %d B compressed -> %d B FASTQ; every payload matched the container's crc32 index\n",
 		res.Reads, res.CompressedBytes, res.OutputBytes)
+	fmt.Printf("host wall-clock stage attribution (measured, functional model):\n%s", res.StageTable())
 	if bound := res.DecodeBound(); len(bound) == 0 {
 		fmt.Printf("scan-unit decode is never the critical path: flash supply dominates every shard (NAND-bound, paper 8.2)\n")
 	} else {

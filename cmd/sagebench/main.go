@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	sagebench [-scale 0.35] [-cal paper|measured] [-experiment fig13] [-list]
+//	sagebench [-scale 0.35] [-cal paper|measured] [-experiment fig13] [-list] [-json BENCH_7.json]
 //
 // With no -experiment it runs the full suite in order. The -cal flag
 // selects whether software preparation throughputs come from timing this
 // repository's Go decompressors on this machine (measured) or from the
 // paper's published component ratios (paper); see DESIGN.md's
-// hybrid-calibration note.
+// hybrid-calibration note. The -json flag additionally writes every
+// experiment's machine-readable metrics (latency percentiles, speedups,
+// ratios) as one JSON object keyed by experiment ID.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +24,32 @@ import (
 	"sage/internal/bench"
 )
 
+// writeJSON collects each table's Metrics map into one document:
+//
+//	{"serve": {"cold_p99_ms": 1.9, ...}, "query": {...}, ...}
+//
+// Experiments without metrics are omitted rather than serialized as
+// empty objects, so the file only states what was measured.
+func writeJSON(path string, tables []*bench.Table) error {
+	doc := make(map[string]map[string]float64)
+	for _, tb := range tables {
+		if len(tb.Metrics) > 0 {
+			doc[tb.ID] = tb.Metrics
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.35, "dataset scale (1.0 ≈ a few MB of FASTQ per read set)")
 	cal := flag.String("cal", "paper", "calibration for software prep rates: paper | measured")
 	experiment := flag.String("experiment", "", "run a single experiment (e.g. fig13, tab2); empty = all")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonPath := flag.String("json", "", "write machine-readable metrics (experiment -> figures) to this file")
 	flag.Parse()
 
 	s := bench.NewSuite(*scale)
@@ -46,6 +70,7 @@ func main() {
 	}
 	fmt.Printf("SAGe evaluation suite (scale=%.2f, calibration=%s)\n", *scale, *cal)
 	start := time.Now()
+	var tables []*bench.Table
 	if *experiment != "" {
 		tb, err := s.Run(*experiment)
 		if err != nil {
@@ -53,15 +78,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(tb.Render())
-		return
+		tables = []*bench.Table{tb}
+	} else {
+		var err error
+		tables, err = s.All()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			fmt.Println(tb.Render())
+		}
+		fmt.Printf("completed %d experiments in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
 	}
-	tables, err := s.All()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sagebench: %v\n", err)
-		os.Exit(1)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "sagebench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *jsonPath)
 	}
-	for _, tb := range tables {
-		fmt.Println(tb.Render())
-	}
-	fmt.Printf("completed %d experiments in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
 }

@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"sage/internal/fastq"
@@ -233,4 +236,49 @@ func main() {
 		log.Fatal("server errors counted on healthy data")
 	}
 	fmt.Println("cache stayed within its byte budget throughout; server_errors = 0")
+
+	// 9. Observability: everything above also landed in per-endpoint
+	// latency histograms, exposed at /metrics in Prometheus text format.
+	// Scrape it like a monitoring agent would and recover the p99
+	// shard-fetch latency from the cumulative buckets.
+	expo, metricsResp := get(ts.URL+"/metrics", nil)
+	fmt.Printf("/metrics: %d B of %s\n", len(expo), metricsResp.Header.Get("Content-Type"))
+	count, p99 := shardReadsP99(string(expo))
+	fmt.Printf("shard_reads from the scrape: %d requests, p99 <= %.3gs (from the histogram buckets)\n", count, p99)
+	if count == 0 {
+		log.Fatal("/metrics recorded no shard_reads requests after the sweeps")
+	}
+}
+
+// shardReadsP99 parses the exposition text by hand — the point is that
+// any scraper can — and returns the shard_reads request count plus the
+// upper bound of the bucket holding the 99th percentile.
+func shardReadsP99(expo string) (count int64, p99 float64) {
+	type bucket struct {
+		le string
+		n  int64
+	}
+	var buckets []bucket
+	const prefix = `sage_http_request_seconds_bucket{endpoint="shard_reads",le="`
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			rest := line[len(prefix):]
+			q := strings.Index(rest, `"`)
+			var n int64
+			fmt.Sscanf(rest[q+2:], "%d", &n)
+			buckets = append(buckets, bucket{le: rest[:q], n: n})
+		}
+	}
+	if len(buckets) == 0 {
+		return 0, 0
+	}
+	count = buckets[len(buckets)-1].n // +Inf bucket is cumulative total
+	rank := (count*99 + 99) / 100
+	for _, b := range buckets {
+		if b.n >= rank {
+			p99, _ = strconv.ParseFloat(b.le, 64)
+			return count, p99
+		}
+	}
+	return count, math.Inf(1)
 }

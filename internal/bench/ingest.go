@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"sage/internal/core"
@@ -141,6 +142,9 @@ func (s *Suite) IngestExperiment() (*Table, error) {
 			fmt.Sprintf("%.1f", raw/mk.Seconds()/1e6),
 			rel,
 		})
+		key := strings.ReplaceAll(strings.ReplaceAll(label, " ", "_"), "/", "_")
+		t.Metric("files_"+key+"_makespan_ms", float64(mk)/float64(time.Millisecond))
+		t.Metric("files_"+key+"_mbps", raw/mk.Seconds()/1e6)
 		return nil
 	}
 	for _, files := range ingestFileCounts {

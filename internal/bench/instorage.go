@@ -84,6 +84,13 @@ func (s *Suite) InstorageExperiment() (*Table, error) {
 			fmt.Sprintf("%.2f", float64(res.OutputBytes)/mk.Seconds()/1e9),
 			f2(ShardSpeedup(times, u)),
 		})
+		t.Metric(fmt.Sprintf("makespan_%dunit_ms", u), ms(mk))
+		t.Metric(fmt.Sprintf("speedup_%dunit", u), ShardSpeedup(times, u))
+	}
+	t.Metric("channel_makespan_ms", ms(res.ChannelMakespan))
+	t.Metric("pipeline_total_ms", ms(res.Pipeline.Total))
+	for _, st := range res.Stages {
+		t.Metric("host_"+st.Stage+"_ms", ms(st.Total))
 	}
 	return t, nil
 }

@@ -130,7 +130,7 @@ func (s *Suite) QueryExperiment() (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(13))
 	channels := 0
-	for _, pr := range queryPredicates(p.C, rng) {
+	for qi, pr := range queryPredicates(p.C, rng) {
 		fr, err := p.FilterScan(nil, pr.P)
 		if err != nil {
 			return nil, err
@@ -149,6 +149,16 @@ func (s *Suite) QueryExperiment() (*Table, error) {
 			fmt.Sprintf("%.2f", ms(fr.HostBaseline)),
 			speed,
 		})
+		// Keyed by query index: predicate names carry punctuation that
+		// makes poor JSON keys. Inf (everything pruned) is not a JSON
+		// number; expose the pruned fraction alongside instead.
+		key := fmt.Sprintf("q%d_", qi)
+		if !math.IsInf(fr.Speedup, 1) {
+			t.Metric(key+"speedup", fr.Speedup)
+		}
+		t.Metric(key+"pruned_frac", float64(fr.ShardsPruned)/float64(fr.ShardsTotal))
+		t.Metric(key+"instorage_ms", ms(fr.InStorage))
+		t.Metric(key+"host_ms", ms(fr.HostBaseline))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d shards (%d short-read, %d long-read) across %d channels; pruned shards cost zero flash I/O",

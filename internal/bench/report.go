@@ -13,6 +13,19 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics is the machine-readable summary of the experiment —
+	// key figures (latency percentiles in milliseconds, speedups,
+	// ratios) that sagebench -json collects into BENCH_7.json. Not
+	// rendered in the text table.
+	Metrics map[string]float64
+}
+
+// Metric records one machine-readable result figure on the table.
+func (t *Table) Metric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
 }
 
 // Render formats the table as aligned text.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sage/internal/obs"
 	"sage/internal/serve"
 	"sage/internal/shard"
 )
@@ -19,13 +20,26 @@ import (
 // repeat traffic from decode-bound into memcpy-bound, and how the cache
 // behaves when the working set exceeds its byte budget.
 
-// ServeResult holds one measured phase of the serve experiment.
+// ServeResult holds one measured phase of the serve experiment. Every
+// request's latency lands in a per-phase obs histogram, so alongside
+// the mean the tail is visible: a warm phase with a flat tail and a
+// cold phase whose p999 is a full decode are very different servers
+// even at the same mean.
 type ServeResult struct {
 	Phase    string
 	Requests int
 	Total    time.Duration
 	Mean     time.Duration
 	Bytes    int64
+	P50      time.Duration
+	P90      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+}
+
+// setPercentiles extracts the phase's latency percentiles from h.
+func (r *ServeResult) setPercentiles(h *obs.Histogram) {
+	r.P50, r.P90, r.P99, r.P999 = h.Percentiles()
 }
 
 func (r *ServeResult) mbps() float64 {
@@ -56,16 +70,20 @@ func serveGet(client *http.Client, url string) (int64, error) {
 // sweep requests every shard once in order, returning the phase timing.
 func sweep(client *http.Client, base, phase string, shards int) (*ServeResult, error) {
 	r := &ServeResult{Phase: phase, Requests: shards}
+	hist := obs.NewHistogram(phase)
 	start := time.Now()
 	for i := 0; i < shards; i++ {
+		t0 := time.Now()
 		n, err := serveGet(client, fmt.Sprintf("%s/shard/%d/reads", base, i))
 		if err != nil {
 			return nil, err
 		}
+		hist.Observe(time.Since(t0))
 		r.Bytes += n
 	}
 	r.Total = time.Since(start)
 	r.Mean = r.Total / time.Duration(shards)
+	r.setPercentiles(hist)
 	return r, nil
 }
 
@@ -109,6 +127,7 @@ func MeasureServe(data []byte, clients, rounds int) ([]*ServeResult, serve.Stats
 		mu       sync.Mutex
 		firstErr error
 	)
+	hist := obs.NewHistogram(conc.Phase) // atomic buckets: observers race freely
 	start := time.Now()
 	for n := 0; n < clients; n++ {
 		wg.Add(1)
@@ -116,6 +135,7 @@ func MeasureServe(data []byte, clients, rounds int) ([]*ServeResult, serve.Stats
 			defer wg.Done()
 			var got int64
 			for k := 0; k < rounds*shards; k++ {
+				t0 := time.Now()
 				b, err := serveGet(client, fmt.Sprintf("%s/shard/%d/reads", ts.URL, (n+k)%shards))
 				if err != nil {
 					mu.Lock()
@@ -125,6 +145,7 @@ func MeasureServe(data []byte, clients, rounds int) ([]*ServeResult, serve.Stats
 					mu.Unlock()
 					return
 				}
+				hist.Observe(time.Since(t0))
 				got += b
 			}
 			mu.Lock()
@@ -138,6 +159,7 @@ func MeasureServe(data []byte, clients, rounds int) ([]*ServeResult, serve.Stats
 	}
 	conc.Total = time.Since(start)
 	conc.Mean = conc.Total / time.Duration(conc.Requests)
+	conc.setPercentiles(hist)
 	return []*ServeResult{cold, warm, conc}, srv.Stats(), nil
 }
 
@@ -209,12 +231,15 @@ func MeasureServeRegistry(datas [][]byte) ([]*ServeResult, serve.Stats, error) {
 		Phase:    fmt.Sprintf("registry cold sweep (%d containers)", len(named)),
 		Requests: total,
 	}
+	coldHist := obs.NewHistogram(cold.Phase)
 	start := time.Now()
 	for i := range urls {
+		t0 := time.Now()
 		n, etag, _, err := serveGetCond(client, urls[i].url, "")
 		if err != nil {
 			return nil, serve.Stats{}, err
 		}
+		coldHist.Observe(time.Since(t0))
 		if etag == "" {
 			return nil, serve.Stats{}, fmt.Errorf("bench: %s served no ETag", urls[i].url)
 		}
@@ -223,20 +248,25 @@ func MeasureServeRegistry(datas [][]byte) ([]*ServeResult, serve.Stats, error) {
 	}
 	cold.Total = time.Since(start)
 	cold.Mean = cold.Total / time.Duration(total)
+	cold.setPercentiles(coldHist)
 
 	cond := &ServeResult{Phase: "conditional revalidation (If-None-Match)", Requests: total}
+	condHist := obs.NewHistogram(cond.Phase)
 	start = time.Now()
 	for _, u := range urls {
+		t0 := time.Now()
 		n, _, code, err := serveGetCond(client, u.url, u.etag)
 		if err != nil {
 			return nil, serve.Stats{}, err
 		}
+		condHist.Observe(time.Since(t0))
 		if code != http.StatusNotModified || n != 0 {
 			return nil, serve.Stats{}, fmt.Errorf("bench: revalidating %s: status %d with %d body bytes, want bodyless 304", u.url, code, n)
 		}
 	}
 	cond.Total = time.Since(start)
 	cond.Mean = cond.Total / time.Duration(total)
+	cond.setPercentiles(condHist)
 	return []*ServeResult{cold, cond}, srv.Stats(), nil
 }
 
@@ -277,18 +307,30 @@ func (s *Suite) ServeExperiment() (*Table, error) {
 	t := &Table{
 		ID:     "serve",
 		Title:  "Shard serving: cold vs warm reads, cache under concurrency, registry + conditional (RS2)",
-		Header: []string{"phase", "requests", "mean/req (ms)", "MB/s"},
+		Header: []string{"phase", "requests", "mean/req (ms)", "p50 (ms)", "p99 (ms)", "MB/s"},
 	}
-	for _, r := range results {
+	phaseKeys := []string{"cold", "warm", "concurrent", "registry_cold", "revalidate"}
+	for i, r := range results {
 		t.Rows = append(t.Rows, []string{
 			r.Phase,
 			fmt.Sprintf("%d", r.Requests),
-			fmt.Sprintf("%.3f", float64(r.Mean)/float64(time.Millisecond)),
+			fmt.Sprintf("%.3f", ms(r.Mean)),
+			fmt.Sprintf("%.3f", ms(r.P50)),
+			fmt.Sprintf("%.3f", ms(r.P99)),
 			f1(r.mbps()),
 		})
+		key := phaseKeys[i]
+		t.Metric(key+"_mean_ms", ms(r.Mean))
+		t.Metric(key+"_p50_ms", ms(r.P50))
+		t.Metric(key+"_p90_ms", ms(r.P90))
+		t.Metric(key+"_p99_ms", ms(r.P99))
+		t.Metric(key+"_p999_ms", ms(r.P999))
 	}
 	coldWarm := float64(results[0].Mean) / float64(results[1].Mean)
 	condSpeedup := float64(regResults[0].Mean) / float64(regResults[1].Mean)
+	t.Metric("cold_over_warm", coldWarm)
+	t.Metric("revalidation_speedup", condSpeedup)
+	t.Metric("hit_ratio", st.HitRatio)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d shards; warm reads are %.1fx faster than cold (decode amortized into the LRU cache)", st.Shards, coldWarm),
 		fmt.Sprintf("lifetime: %d requests, %d decodes (singleflight+cache), hit ratio %.2f, %d evictions",

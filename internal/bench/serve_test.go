@@ -66,6 +66,17 @@ func TestMeasureServe(t *testing.T) {
 		t.Fatalf("concurrent phase served %d bytes, want %d",
 			results[2].Bytes, int64(clients*rounds)*results[0].Bytes)
 	}
+	// Each phase carries latency percentiles from its histogram, and
+	// they must be ordered; absolute values are not gated (CI noise).
+	for _, r := range results {
+		if r.P50 <= 0 {
+			t.Fatalf("phase %q has no p50: %+v", r.Phase, r)
+		}
+		if r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.P999 {
+			t.Fatalf("phase %q percentiles not monotone: p50=%v p90=%v p99=%v p999=%v",
+				r.Phase, r.P50, r.P90, r.P99, r.P999)
+		}
+	}
 }
 
 // TestMeasureServeRegistry is the acceptance gate for the registry

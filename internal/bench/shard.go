@@ -116,6 +116,8 @@ func (s *Suite) ShardScaling() (*Table, error) {
 			fmt.Sprintf("%.1f", raw/mk.Seconds()/1e6),
 			f2(ShardSpeedup(times, w)),
 		})
+		t.Metric(fmt.Sprintf("makespan_%dw_ms", w), float64(mk)/float64(time.Millisecond))
+		t.Metric(fmt.Sprintf("speedup_%dw", w), ShardSpeedup(times, w))
 	}
 	return t, nil
 }

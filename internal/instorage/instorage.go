@@ -29,6 +29,7 @@ import (
 	"sage/internal/fastq"
 	"sage/internal/genome"
 	"sage/internal/hw"
+	"sage/internal/obs"
 	"sage/internal/pipeline"
 	"sage/internal/shard"
 	"sage/internal/ssd"
@@ -124,7 +125,17 @@ type Result struct {
 	// per-shard (unequal) batches, for fill latency and bottleneck
 	// attribution.
 	Pipeline pipeline.Result
+	// Stages attributes the scan's measured wall-clock to its stages
+	// (flash-read, scan-decode, fill) — one span per shard per stage,
+	// aggregated by internal/obs. This is where the host actually spent
+	// time running the functional model, as opposed to the modeled
+	// FlashRead/Decode device times above.
+	Stages []obs.StageTiming
 }
+
+// StageTable renders the measured stage attribution as an aligned text
+// table — what `sage instorage` prints after a scan.
+func (r *Result) StageTable() string { return obs.StageTable(r.Stages) }
 
 // ServiceTimes returns the per-shard service times in dispatch order —
 // the durations to feed bench.ShardMakespan.
@@ -189,7 +200,9 @@ func (p *Placed) ScanTo(cons genome.Seq, sink func(shard int, rs *fastq.ReadSet)
 	bases := make([]int64, n)
 	comp := make([]int64, n)
 	uncomp := make([]int64, n)
+	tr := obs.NewTrace(p.Name)
 	for i := 0; i < n; i++ {
+		fsp := tr.StartSpan("flash-read")
 		blk, flashTime, err := p.eng.Dev.ReadShard(p.Name, i)
 		if err != nil {
 			return nil, fmt.Errorf("instorage: %w", err)
@@ -199,6 +212,8 @@ func (p *Placed) ScanTo(cons genome.Seq, sink func(shard int, rs *fastq.ReadSet)
 			return nil, fmt.Errorf("instorage: shard %d read from flash has checksum %08x, index says %08x",
 				i, got, e.Checksum)
 		}
+		fsp.End()
+		dsp := tr.StartSpan("scan-decode")
 		rs, err := core.Decompress(blk, cons)
 		if err != nil {
 			return nil, fmt.Errorf("instorage: decoding shard %d from flash: %w", i, err)
@@ -207,9 +222,12 @@ func (p *Placed) ScanTo(cons genome.Seq, sink func(shard int, rs *fastq.ReadSet)
 			return nil, fmt.Errorf("instorage: shard %d decoded %d reads, index says %d",
 				i, len(rs.Records), e.ReadCount)
 		}
+		dsp.End()
+		ssp := tr.StartSpan("fill")
 		if sink != nil {
 			sink(i, rs)
 		}
+		ssp.End()
 		pl := p.Placement.Shards[i]
 		st := ShardTiming{
 			Shard:           i,
@@ -250,5 +268,6 @@ func (p *Placed) ScanTo(cons genome.Seq, sink func(shard int, rs *fastq.ReadSet)
 	if err != nil {
 		return nil, fmt.Errorf("instorage: %w", err)
 	}
+	res.Stages = tr.Stages()
 	return res, nil
 }

@@ -3,6 +3,7 @@ package instorage
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -298,6 +299,44 @@ func BenchmarkPlaceScan(b *testing.B) {
 		}
 		if _, err := p.Scan(ref); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestScanStageAttribution pins the observability contract: a scan
+// records one span per shard for each stage (flash-read, scan-decode,
+// fill), and StageTable renders them.
+func TestScanStageAttribution(t *testing.T) {
+	data, _, ref := testContainer(t, 300, 50, 0) // 6 shards
+	eng := New(testDevice(t))
+	p, err := eng.Place("rs.sage", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ScanTo(ref, func(int, *fastq.ReadSet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.C.NumShards()
+	want := []string{"flash-read", "scan-decode", "fill"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("stages = %+v, want %v", res.Stages, want)
+	}
+	for i, st := range res.Stages {
+		if st.Stage != want[i] {
+			t.Errorf("stage %d = %q, want %q (pipeline order)", i, st.Stage, want[i])
+		}
+		if st.Calls != n {
+			t.Errorf("stage %q has %d calls, want one per shard (%d)", st.Stage, st.Calls, n)
+		}
+		if st.Total < 0 {
+			t.Errorf("stage %q total = %v", st.Stage, st.Total)
+		}
+	}
+	table := res.StageTable()
+	for _, stage := range want {
+		if !strings.Contains(table, stage) {
+			t.Errorf("StageTable missing %q:\n%s", stage, table)
 		}
 	}
 }

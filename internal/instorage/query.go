@@ -9,6 +9,7 @@ import (
 	"sage/internal/core"
 	"sage/internal/genome"
 	"sage/internal/hw"
+	"sage/internal/obs"
 	"sage/internal/shard"
 )
 
@@ -43,7 +44,14 @@ type FilterResult struct {
 	InStorage    time.Duration
 	HostBaseline time.Duration
 	Speedup      float64
+	// Stages attributes the scan's measured wall-clock (flash-read,
+	// scan-decode, filter) over the surviving shards.
+	Stages []obs.StageTiming
 }
+
+// StageTable renders the measured stage attribution as an aligned text
+// table.
+func (r *FilterResult) StageTable() string { return obs.StageTable(r.Stages) }
 
 // FilterScan runs a predicate over the placed container in storage:
 // the shard index's zone maps prune shards that provably cannot match
@@ -76,7 +84,9 @@ func (p *Placed) FilterScan(cons genome.Seq, pred *shard.Predicate) (*FilterResu
 		PerShard:      make([]ShardTiming, 0, len(scan)),
 	}
 	active := pred.Active()
+	tr := obs.NewTrace(p.Name)
 	for _, i := range scan {
+		fsp := tr.StartSpan("flash-read")
 		blk, flashTime, err := p.eng.Dev.ReadShard(p.Name, i)
 		if err != nil {
 			return nil, fmt.Errorf("instorage: %w", err)
@@ -86,6 +96,8 @@ func (p *Placed) FilterScan(cons genome.Seq, pred *shard.Predicate) (*FilterResu
 			return nil, fmt.Errorf("instorage: shard %d read from flash has checksum %08x, index says %08x",
 				i, got, e.Checksum)
 		}
+		fsp.End()
+		dsp := tr.StartSpan("scan-decode")
 		rs, err := core.Decompress(blk, cons)
 		if err != nil {
 			return nil, fmt.Errorf("instorage: decoding shard %d from flash: %w", i, err)
@@ -94,12 +106,15 @@ func (p *Placed) FilterScan(cons genome.Seq, pred *shard.Predicate) (*FilterResu
 			return nil, fmt.Errorf("instorage: shard %d decoded %d reads, index says %d",
 				i, len(rs.Records), e.ReadCount)
 		}
+		dsp.End()
+		msp := tr.StartSpan("filter")
 		matched := 0
 		for j := range rs.Records {
 			if !active || pred.MatchRecord(&rs.Records[j]) {
 				matched++
 			}
 		}
+		msp.End()
 		pl := p.Placement.Shards[i]
 		res.PerShard = append(res.PerShard, ShardTiming{
 			Shard:           i,
@@ -149,5 +164,6 @@ func (p *Placed) FilterScan(cons genome.Seq, pred *shard.Predicate) (*FilterResu
 		// alone, at no streaming cost at all.
 		res.Speedup = math.Inf(1)
 	}
+	res.Stages = tr.Stages()
 	return res, nil
 }

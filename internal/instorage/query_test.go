@@ -2,6 +2,7 @@ package instorage
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"sage/internal/shard"
@@ -86,5 +87,34 @@ func TestFilterScanPrunesWithZeroIO(t *testing.T) {
 	}
 	if all.InStorage != all.HostBaseline {
 		t.Fatalf("inactive predicate makespan %v differs from baseline %v", all.InStorage, all.HostBaseline)
+	}
+}
+
+// TestFilterScanStageAttribution: stage spans cover exactly the
+// surviving shards — pruned shards never enter any stage.
+func TestFilterScanStageAttribution(t *testing.T) {
+	data, _, _ := testContainer(t, 400, 64, 0)
+	p, err := New(testDevice(t)).Place("rs.sage", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := p.FilterScan(nil, &shard.Predicate{MinLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.ShardsScanned == 0 {
+		t.Fatal("predicate pruned everything; test needs survivors")
+	}
+	want := []string{"flash-read", "scan-decode", "filter"}
+	if len(fr.Stages) != len(want) {
+		t.Fatalf("stages = %+v, want %v", fr.Stages, want)
+	}
+	for i, st := range fr.Stages {
+		if st.Stage != want[i] || st.Calls != fr.ShardsScanned {
+			t.Errorf("stage %d = %+v, want %q with %d calls", i, st, want[i], fr.ShardsScanned)
+		}
+	}
+	if table := fr.StageTable(); !strings.Contains(table, "filter") {
+		t.Errorf("StageTable missing filter stage:\n%s", table)
 	}
 }

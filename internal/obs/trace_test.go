@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStages(t *testing.T) {
+	tr := NewTrace("req-1")
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("decode")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	sp := tr.StartSpan("fill")
+	sp.End()
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	if stages[0].Stage != "decode" || stages[0].Calls != 3 {
+		t.Errorf("stage 0 = %+v, want decode x3 (first-seen order)", stages[0])
+	}
+	if stages[0].Total < 3*time.Millisecond {
+		t.Errorf("decode total = %v, want >= 3ms", stages[0].Total)
+	}
+	if stages[0].Mean() < time.Millisecond {
+		t.Errorf("decode mean = %v, want >= 1ms", stages[0].Mean())
+	}
+	if stages[1].Stage != "fill" || stages[1].Calls != 1 {
+		t.Errorf("stage 1 = %+v, want fill x1", stages[1])
+	}
+
+	table := StageTable(stages)
+	for _, want := range []string{"stage", "decode", "fill", "%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("stage table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTrace("req-2")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the carried trace")
+	}
+	_, sp := Start(ctx, "stage")
+	sp.End()
+	if len(tr.Stages()) != 1 {
+		t.Fatal("span via Start(ctx) did not record on the trace")
+	}
+}
+
+// TestNilTraceSafe pins the no-instrumentation path: spans opened
+// without a trace still measure but never panic or record.
+func TestNilTraceSafe(t *testing.T) {
+	_, sp := Start(context.Background(), "orphan")
+	if d := sp.End(); d < 0 {
+		t.Errorf("orphan span duration = %v", d)
+	}
+	var nilTrace *Trace
+	sp = nilTrace.StartSpan("orphan")
+	sp.End()
+	if got := TraceFrom(nil); got != nil { //nolint:staticcheck // nil ctx is the point
+		t.Error("TraceFrom(nil) should be nil")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("req-3")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.StartSpan("stage").End()
+			}
+		}()
+	}
+	wg.Wait()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Calls != 8*500 {
+		t.Fatalf("stages = %+v, want one stage with 4000 calls", stages)
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				ids <- NewRequestID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, n)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}

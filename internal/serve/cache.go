@@ -48,10 +48,11 @@ func (c *lruCache) get(key shardKey) ([]byte, bool) {
 }
 
 // add inserts key -> data, evicting least-recently-used entries until
-// the budget holds. It returns the number of entries evicted. Values
-// larger than the budget are not cached (evicting everything else for a
-// value that cannot fit would only thrash).
-func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
+// the budget holds. It returns the number of entries evicted and the
+// bytes they held (the eviction byte-flow metric). Values larger than
+// the budget are not cached (evicting everything else for a value that
+// cannot fit would only thrash).
+func (c *lruCache) add(key shardKey, data []byte) (evicted int, evictedBytes int64) {
 	size := int64(len(data))
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,7 +68,7 @@ func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			c.bytes -= int64(len(ent.data))
-			return 0
+			return 0, 0
 		}
 		c.bytes += size - int64(len(ent.data))
 		ent.data = data
@@ -75,7 +76,7 @@ func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 		return c.evictOver()
 	}
 	if size > c.budget {
-		return 0
+		return 0, 0
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
 	c.bytes += size
@@ -86,7 +87,7 @@ func (c *lruCache) add(key shardKey, data []byte) (evicted int) {
 // the budget. The entry just touched sits at the front, so it is only
 // reachable when it is the sole entry — and then it fits by the add()
 // size check. Callers hold c.mu.
-func (c *lruCache) evictOver() (evicted int) {
+func (c *lruCache) evictOver() (evicted int, evictedBytes int64) {
 	for c.bytes > c.budget {
 		back := c.ll.Back()
 		if back == nil {
@@ -97,8 +98,9 @@ func (c *lruCache) evictOver() (evicted int) {
 		delete(c.items, ent.key)
 		c.bytes -= int64(len(ent.data))
 		evicted++
+		evictedBytes += int64(len(ent.data))
 	}
-	return evicted
+	return evicted, evictedBytes
 }
 
 // usage reports resident bytes and entry count.
@@ -106,4 +108,28 @@ func (c *lruCache) usage() (bytes int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes, c.ll.Len()
+}
+
+// containerUsage is one container's share of the shared cache.
+type containerUsage struct {
+	bytes   int64
+	entries int
+}
+
+// usageByContainer attributes the resident bytes to their containers —
+// the breakdown that makes a hot container distinguishable from a cold
+// one in /stats. O(entries) under the lock, called only at snapshot
+// time, never on the request path.
+func (c *lruCache) usageByContainer() map[string]containerUsage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]containerUsage)
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		u := out[ent.key.container]
+		u.bytes += int64(len(ent.data))
+		u.entries++
+		out[ent.key.container] = u
+	}
+	return out
 }

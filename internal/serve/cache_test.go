@@ -22,8 +22,8 @@ func TestLRUEvictionOrder(t *testing.T) {
 		c.add(key(k), val(20)) // fills the budget exactly
 	}
 	// A 50-byte insert must evict the three coldest entries (1, 2, 3).
-	if ev := c.add(key(6), val(50)); ev != 3 {
-		t.Fatalf("add(6, 50B) evicted %d entries, want 3", ev)
+	if ev, evb := c.add(key(6), val(50)); ev != 3 || evb != 60 {
+		t.Fatalf("add(6, 50B) evicted %d entries / %d bytes, want 3 / 60", ev, evb)
 	}
 	for _, k := range []int{1, 2, 3} {
 		if _, ok := c.get(key(k)); ok {
@@ -47,13 +47,13 @@ func TestLRUEvictsColdEntryOnly(t *testing.T) {
 	if _, ok := c.get(key(1)); !ok {
 		t.Fatal("entry 1 missing")
 	}
-	ev := c.add(key(3), val(20)) // 40+40+20 = 100: fits without eviction
+	ev, _ := c.add(key(3), val(20)) // 40+40+20 = 100: fits without eviction
 	if ev != 0 {
 		t.Fatalf("add(3, 20B) evicted %d entries", ev)
 	}
-	ev = c.add(key(4), val(40)) // needs 40: evicts 2 (coldest; 1 was touched)
-	if ev != 1 {
-		t.Fatalf("add(4, 40B) evicted %d entries, want 1", ev)
+	ev, evb := c.add(key(4), val(40)) // needs 40: evicts 2 (coldest; 1 was touched)
+	if ev != 1 || evb != 40 {
+		t.Fatalf("add(4, 40B) evicted %d entries / %d bytes, want 1 / 40", ev, evb)
 	}
 	if _, ok := c.get(key(2)); ok {
 		t.Fatal("cold entry 2 survived eviction")
@@ -66,7 +66,7 @@ func TestLRUEvictsColdEntryOnly(t *testing.T) {
 func TestLRUOversizedValueNotCached(t *testing.T) {
 	c := newLRUCache(50)
 	c.add(key(1), val(30))
-	if ev := c.add(key(2), val(51)); ev != 0 {
+	if ev, _ := c.add(key(2), val(51)); ev != 0 {
 		t.Fatalf("oversized add evicted %d entries", ev)
 	}
 	if _, ok := c.get(key(2)); ok {
@@ -246,8 +246,8 @@ func TestLRUReinsertReplacesValue(t *testing.T) {
 	// to stay inside the budget.
 	c.add(key(2), val(40))
 	c.add(key(3), val(40))
-	if ev := c.add(key(2), val(90)); ev != 2 {
-		t.Fatalf("growing re-insert evicted %d entries, want 2 (key 1 and key 3)", ev)
+	if ev, evb := c.add(key(2), val(90)); ev != 2 || evb != 43 {
+		t.Fatalf("growing re-insert evicted %d entries / %d bytes, want 2 / 43 (key 1 and key 3)", ev, evb)
 	}
 	got, ok = c.get(key(2))
 	if !ok || len(got) != 90 {
@@ -259,7 +259,7 @@ func TestLRUReinsertReplacesValue(t *testing.T) {
 
 	// Re-inserting a value larger than the whole budget cannot keep the
 	// stale resident copy either: the entry is dropped outright.
-	if ev := c.add(key(2), val(101)); ev != 0 {
+	if ev, _ := c.add(key(2), val(101)); ev != 0 {
 		t.Fatalf("oversized re-insert evicted %d entries", ev)
 	}
 	if _, ok := c.get(key(2)); ok {

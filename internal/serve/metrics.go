@@ -1,0 +1,200 @@
+// Observability wiring for the serving registry: per-endpoint request
+// latency histograms, decode-pool queue-wait and decode-time
+// histograms, cache byte-flow counters, request-ID propagation, a
+// structured slow-request log, and the GET /metrics Prometheus text
+// exposition — all built on internal/obs, no external dependencies.
+//
+// Conventions (documented in README "Observability"):
+//
+//   - Histograms are *_seconds with log-spaced buckets; counters are
+//     *_total; byte counters are *_bytes_total.
+//   - The one label on request histograms is endpoint (the route
+//     shape, e.g. shard_reads), never the raw path — label values must
+//     be low-cardinality.
+//   - Per-container traffic carries a container label.
+//   - Every response echoes X-Sage-Request-Id (the client's, if it
+//     sent one; minted otherwise), so one ID follows a request through
+//     client logs, the slow log, and any downstream hop.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sage/internal/obs"
+)
+
+// RequestIDHeader is the request-ID propagation header: honored on
+// requests, echoed on every response.
+const RequestIDHeader = "X-Sage-Request-Id"
+
+// endpoints names every route shape the server serves, in exposition
+// order. Each gets its request histogram registered up front, so a
+// scrape before any traffic still shows the full metric surface.
+var endpoints = []string{
+	"containers", "shards", "shard_block", "shard_reads",
+	"files", "file_shards", "query", "stats", "metrics",
+}
+
+// metrics is the server's obs instrument panel.
+type metrics struct {
+	requests      *obs.HistogramVec // by endpoint
+	queueWait     *obs.Histogram
+	decode        *obs.Histogram
+	cacheHitBytes *obs.Counter
+	cacheMissB    *obs.Counter
+	cacheEvictedB *obs.Counter
+	containerReqs *obs.CounterVec // by container
+	slowRequests  *obs.Counter
+}
+
+// initMetrics builds the registry: live histograms and counters for the
+// new measurements, plus scrape-time views over the counters the server
+// already keeps (one source of truth — /stats and /metrics can never
+// disagree).
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.met.requests = r.HistogramVec("sage_http_request_seconds",
+		"HTTP request latency by endpoint.", "endpoint")
+	for _, ep := range endpoints {
+		s.met.requests.With(ep)
+	}
+	s.met.queueWait = r.Histogram("sage_decode_queue_wait_seconds",
+		"Time cold requests waited for a decode-pool slot.")
+	s.met.decode = r.Histogram("sage_decode_seconds",
+		"Shard decode time on the pool.")
+	s.met.cacheHitBytes = r.Counter("sage_cache_hit_bytes_total",
+		"Decoded bytes served from the shard cache.")
+	s.met.cacheMissB = r.Counter("sage_cache_miss_bytes_total",
+		"Decoded bytes produced by cache-missing decodes.")
+	s.met.cacheEvictedB = r.Counter("sage_cache_evicted_bytes_total",
+		"Decoded bytes evicted from the shard cache.")
+	s.met.slowRequests = r.Counter("sage_slow_requests_total",
+		"Requests slower than the configured slow-request threshold.")
+	s.met.containerReqs = r.CounterVec("sage_container_requests_total",
+		"Requests routed to each registered container.", "container")
+	for _, name := range s.names {
+		s.met.containerReqs.With(name)
+	}
+
+	counterViews := []struct {
+		name, help string
+		load       func() int64
+	}{
+		{"sage_cache_hits_total", "Decoded-shard cache hits.", s.n.hits.Load},
+		{"sage_cache_misses_total", "Decoded-shard cache misses.", s.n.misses.Load},
+		{"sage_decodes_total", "Shard decodes performed.", s.n.decodes.Load},
+		{"sage_deduped_decodes_total", "Cache misses that joined an in-flight decode (singleflight).", s.n.deduped.Load},
+		{"sage_cache_evictions_total", "Decoded-shard cache entries evicted.", s.n.evictions.Load},
+		{"sage_not_modified_total", "Conditional requests answered 304.", s.n.notModified.Load},
+		{"sage_range_requests_total", "Raw-block requests answered 206.", s.n.rangeReads.Load},
+		{"sage_shards_pruned_total", "Shards zone-map pruning skipped (zero I/O).", s.n.shardsPruned.Load},
+		{"sage_shards_scanned_total", "Shards /query had to decode.", s.n.shardsScanned.Load},
+		{"sage_query_reads_matched_total", "Records matched by /query predicates.", s.n.queryMatched.Load},
+		{"sage_client_errors_total", "Requests answered with a 4xx status.", s.n.clientErrs.Load},
+		{"sage_server_errors_total", "Requests answered with a 5xx status (data damage alarm).", s.n.serverErrs.Load},
+		{"sage_write_failures_total", "Response writes that failed or were aborted.", s.n.writeFails.Load},
+	}
+	for _, cv := range counterViews {
+		r.CounterFunc(cv.name, cv.help, cv.load)
+	}
+	r.GaugeFunc("sage_cache_resident_bytes", "Decoded bytes resident in the shard cache.",
+		func() int64 { b, _ := s.cache.usage(); return b })
+	r.GaugeFunc("sage_cache_entries", "Decoded shards resident in the cache.",
+		func() int64 { _, n := s.cache.usage(); return int64(n) })
+	r.GaugeFunc("sage_cache_budget_bytes", "Configured shard-cache byte budget.",
+		func() int64 { return s.cfg.CacheBytes })
+	r.GaugeFunc("sage_decode_workers", "Configured decode-pool size.",
+		func() int64 { return int64(s.cfg.Workers) })
+}
+
+// statusWriter captures the response status for the latency histogram
+// and the slow log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// instrument wraps a handler with the request-scope observability:
+// request-ID propagation (honor the client's, mint otherwise, echo
+// always), a per-request obs.Trace in the context so downstream stages
+// (queue-wait, decode) attach spans, the per-endpoint latency
+// histogram, and the slow-request log.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.met.requests.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		tr := obs.NewTrace(id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := time.Since(start)
+		hist.Observe(d)
+		if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+			s.met.slowRequests.Inc()
+			s.logSlow(r, endpoint, id, sw.code(), d, tr)
+		}
+	}
+}
+
+// logSlow emits one structured line per slow request: key=value pairs
+// plus the trace's stage attribution, so an operator reading the log
+// sees not just that a request was slow but which stage owned the time.
+//
+//	sage-slow-request id=... endpoint=shard_reads method=GET
+//	path="/c/a/shard/3/reads" status=200 dur=1.2s
+//	stages="queue-wait:3µs,decode:1.19s"
+func (s *Server) logSlow(r *http.Request, endpoint, id string, status int, d time.Duration, tr *obs.Trace) {
+	var stages strings.Builder
+	for i, st := range tr.Stages() {
+		if i > 0 {
+			stages.WriteByte(',')
+		}
+		fmt.Fprintf(&stages, "%s:%v", st.Stage, st.Total.Round(time.Microsecond))
+	}
+	line := fmt.Sprintf("sage-slow-request id=%s endpoint=%s method=%s path=%q status=%d dur=%v stages=%q\n",
+		id, endpoint, r.Method, r.URL.RequestURI(), status, d.Round(time.Microsecond), stages.String())
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	io.WriteString(s.slowLog(), line)
+}
+
+// slowLog resolves the slow-request sink (default stderr).
+func (s *Server) slowLog() io.Writer {
+	if s.cfg.SlowLog != nil {
+		return s.cfg.SlowLog
+	}
+	return os.Stderr
+}
+
+// handleMetrics serves the whole registry in Prometheus text exposition
+// format — the machine-readable sibling of /stats.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.n.writeFails.Add(1)
+	}
+}

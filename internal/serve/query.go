@@ -10,6 +10,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -129,7 +130,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *Named) {
 		}
 		for _, i := range scan {
 			sum.ReadsScanned += e.C.Index.Entries[i].ReadCount
-			matched, err := s.shardMatches(e, i, pred, nil)
+			matched, err := s.shardMatches(r.Context(), e, i, pred, nil)
 			if err != nil {
 				s.fail(w, http.StatusInternalServerError, err)
 				return
@@ -149,7 +150,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, e *Named) {
 	bw := bufio.NewWriter(w)
 	started := false
 	for _, i := range scan {
-		matched, err := s.shardMatches(e, i, pred, bw)
+		matched, err := s.shardMatches(r.Context(), e, i, pred, bw)
 		if matched > 0 {
 			started = true
 		}
@@ -181,8 +182,8 @@ type writeError struct{ error }
 // a query is expected to touch many shards once rather than one shard
 // many times, so keeping the cache byte-exact wins over saving the
 // parse.
-func (s *Server) shardMatches(e *Named, i int, pred *shard.Predicate, w *bufio.Writer) (int, error) {
-	d, err := s.decodedShard(e, i)
+func (s *Server) shardMatches(ctx context.Context, e *Named, i int, pred *shard.Predicate, w *bufio.Writer) (int, error) {
+	d, err := s.decodedShard(ctx, e, i)
 	if err != nil {
 		return 0, err
 	}

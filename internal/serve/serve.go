@@ -63,6 +63,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -70,10 +71,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"sage/internal/fastq"
 	"sage/internal/genome"
+	"sage/internal/obs"
 	"sage/internal/shard"
 )
 
@@ -96,6 +100,13 @@ type Config struct {
 	// Consensus is the fallback consensus for containers written
 	// without an embedded one; ignored otherwise.
 	Consensus genome.Seq
+	// SlowRequest, when > 0, emits one structured log line (and counts
+	// sage_slow_requests_total) for every request that takes at least
+	// this long; 0 disables the slow log.
+	SlowRequest time.Duration
+	// SlowLog receives slow-request lines (default os.Stderr). Writes
+	// are serialized by the server.
+	SlowLog io.Writer
 }
 
 // Named is one container registration: the name it is routed under
@@ -117,8 +128,15 @@ type Server struct {
 	fl      flightGroup
 	sem     chan struct{}
 	n       counters
+	reg     *obs.Registry
+	met     metrics
+	slowMu  sync.Mutex
 	mux     *http.ServeMux
 }
+
+// Registry exposes the server's metric registry (for in-process
+// consumers like bench; HTTP consumers scrape /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // New builds a Server for a single container, registered under
 // DefaultName. It fails fast when the container cannot be decoded at
@@ -169,22 +187,28 @@ func NewMulti(containers []Named, cfg Config) (*Server, error) {
 		s.names = append(s.names, nc.Name)
 	}
 
-	s.mux.HandleFunc("GET /containers", s.handleContainers)
-	s.mux.HandleFunc("GET /c/{name}/shards", s.registry(s.handleIndex))
-	s.mux.HandleFunc("GET /c/{name}/shard/{i}", s.registry(s.handleBlock))
-	s.mux.HandleFunc("GET /c/{name}/shard/{i}/reads", s.registry(s.handleReads))
-	s.mux.HandleFunc("GET /c/{name}/files", s.registry(s.handleFiles))
-	s.mux.HandleFunc("GET /c/{name}/file/{file}/shards", s.registry(s.handleFileShards))
-	s.mux.HandleFunc("GET /c/{name}/query", s.registry(s.handleQuery))
+	s.initMetrics()
+	// Every route goes through instrument: request-ID propagation, the
+	// per-endpoint latency histogram, and the slow-request log. The
+	// endpoint label is the route shape, so the two spellings of each
+	// per-container route (registry and legacy alias) share a histogram.
+	s.mux.HandleFunc("GET /containers", s.instrument("containers", s.handleContainers))
+	s.mux.HandleFunc("GET /c/{name}/shards", s.instrument("shards", s.registry(s.handleIndex)))
+	s.mux.HandleFunc("GET /c/{name}/shard/{i}", s.instrument("shard_block", s.registry(s.handleBlock)))
+	s.mux.HandleFunc("GET /c/{name}/shard/{i}/reads", s.instrument("shard_reads", s.registry(s.handleReads)))
+	s.mux.HandleFunc("GET /c/{name}/files", s.instrument("files", s.registry(s.handleFiles)))
+	s.mux.HandleFunc("GET /c/{name}/file/{file}/shards", s.instrument("file_shards", s.registry(s.handleFileShards)))
+	s.mux.HandleFunc("GET /c/{name}/query", s.instrument("query", s.registry(s.handleQuery)))
 	// Legacy single-container aliases, pinned to the default container.
 	def := s.byName[s.names[0]]
-	s.mux.HandleFunc("GET /shards", s.defaulted(def, s.handleIndex))
-	s.mux.HandleFunc("GET /shard/{i}", s.defaulted(def, s.handleBlock))
-	s.mux.HandleFunc("GET /shard/{i}/reads", s.defaulted(def, s.handleReads))
-	s.mux.HandleFunc("GET /files", s.defaulted(def, s.handleFiles))
-	s.mux.HandleFunc("GET /file/{file}/shards", s.defaulted(def, s.handleFileShards))
-	s.mux.HandleFunc("GET /query", s.defaulted(def, s.handleQuery))
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /shards", s.instrument("shards", s.defaulted(def, s.handleIndex)))
+	s.mux.HandleFunc("GET /shard/{i}", s.instrument("shard_block", s.defaulted(def, s.handleBlock)))
+	s.mux.HandleFunc("GET /shard/{i}/reads", s.instrument("shard_reads", s.defaulted(def, s.handleReads)))
+	s.mux.HandleFunc("GET /files", s.instrument("files", s.defaulted(def, s.handleFiles)))
+	s.mux.HandleFunc("GET /file/{file}/shards", s.instrument("file_shards", s.defaulted(def, s.handleFileShards)))
+	s.mux.HandleFunc("GET /query", s.instrument("query", s.defaulted(def, s.handleQuery)))
+	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
 }
 
@@ -201,6 +225,7 @@ func (s *Server) registry(h func(http.ResponseWriter, *http.Request, *Named)) ht
 			s.fail(w, http.StatusNotFound, fmt.Errorf("serve: no container %q (see /containers)", r.PathValue("name")))
 			return
 		}
+		s.met.containerReqs.With(e.Name).Inc()
 		h(w, r, e)
 	}
 }
@@ -208,7 +233,10 @@ func (s *Server) registry(h func(http.ResponseWriter, *http.Request, *Named)) ht
 // defaulted adapts a per-container handler to the legacy routes, which
 // always address the default (first-registered) container.
 func (s *Server) defaulted(e *Named, h func(http.ResponseWriter, *http.Request, *Named)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) { h(w, r, e) }
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.containerReqs.With(e.Name).Inc()
+		h(w, r, e)
+	}
 }
 
 // fail answers a request with a clean error status. 4xx statuses are
@@ -513,7 +541,7 @@ func (s *Server) handleReads(w http.ResponseWriter, r *http.Request, e *Named) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	d, err := s.decodedShard(e, i)
+	d, err := s.decodedShard(r.Context(), e, i)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -587,11 +615,15 @@ func (d *decoded) bytes() []byte {
 // cache when warm, otherwise via exactly one decode on the bounded pool
 // no matter how many requests arrive while it runs. The flight key
 // includes the container name, so the same shard index in two different
-// containers is never falsely deduplicated.
-func (s *Server) decodedShard(e *Named, i int) (*decoded, error) {
+// containers is never falsely deduplicated. The leader's queue wait and
+// decode are recorded on the pool histograms and, when ctx carries an
+// obs.Trace, as that request's "queue-wait" and "decode" spans (joiners
+// wait on the flight, not the pool, so their traces record nothing).
+func (s *Server) decodedShard(ctx context.Context, e *Named, i int) (*decoded, error) {
 	key := shardKey{container: e.Name, shard: i}
 	if data, ok := s.cache.get(key); ok {
 		s.n.hits.Add(1)
+		s.met.cacheHitBytes.Add(int64(len(data)))
 		return &decoded{data: data, size: int64(len(data))}, nil
 	}
 	s.n.misses.Add(1)
@@ -601,16 +633,22 @@ func (s *Server) decodedShard(e *Named, i int) (*decoded, error) {
 		// completed and cached; leading a second decode would break the
 		// one-decode-per-cold-shard invariant.
 		if data, ok := s.cache.get(key); ok {
+			s.met.cacheHitBytes.Add(int64(len(data)))
 			return &decoded{data: data, size: int64(len(data))}, nil
 		}
+		_, qsp := obs.Start(ctx, "queue-wait")
 		s.sem <- struct{}{} // bounded decode pool
+		s.met.queueWait.Observe(qsp.End())
 		s.n.decodes.Add(1)
+		_, dsp := obs.Start(ctx, "decode")
 		rs, err := e.C.DecompressShard(i, s.cons)
+		s.met.decode.Observe(dsp.End())
 		if err != nil {
 			<-s.sem
 			return nil, err
 		}
 		size := int64(rs.UncompressedSize())
+		s.met.cacheMissB.Add(size)
 		if size > s.cfg.CacheBytes {
 			// The text could never be cached; skip materializing it and
 			// let the handler stream the records straight to the client.
@@ -622,7 +660,9 @@ func (s *Server) decodedShard(e *Named, i int) (*decoded, error) {
 			return &decoded{rs: rs, size: size, release: func() { <-s.sem }}, nil
 		}
 		data := rs.Bytes()
-		s.n.evictions.Add(int64(s.cache.add(key, data)))
+		evicted, evictedBytes := s.cache.add(key, data)
+		s.n.evictions.Add(int64(evicted))
+		s.met.cacheEvictedB.Add(evictedBytes)
 		<-s.sem
 		return &decoded{data: data, size: size}, nil
 	})
@@ -647,7 +687,7 @@ func (s *Server) DecodedShardOf(name string, i int) ([]byte, error) {
 	if i < 0 || i >= e.C.NumShards() {
 		return nil, fmt.Errorf("serve: shard %d out of range [0,%d)", i, e.C.NumShards())
 	}
-	d, err := s.decodedShard(e, i)
+	d, err := s.decodedShard(context.Background(), e, i)
 	if err != nil {
 		return nil, err
 	}

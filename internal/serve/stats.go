@@ -69,6 +69,20 @@ type Stats struct {
 	CacheEntries int   `json:"cache_entries"`
 	CacheBudget  int64 `json:"cache_budget"`
 	Workers      int   `json:"decode_workers"`
+	// PerContainer breaks the registry totals down by container, in
+	// registration order: request traffic plus each container's share of
+	// the shared decoded-shard cache.
+	PerContainer []ContainerStats `json:"per_container,omitempty"`
+}
+
+// ContainerStats is one container's slice of the registry snapshot.
+type ContainerStats struct {
+	Name         string `json:"name"`
+	Requests     int64  `json:"requests"`
+	Shards       int    `json:"shards"`
+	Reads        int    `json:"reads"`
+	CacheBytes   int64  `json:"cache_bytes"`
+	CacheEntries int    `json:"cache_entries"`
 }
 
 // Stats snapshots the server's counters and cache occupancy.
@@ -100,10 +114,20 @@ func (s *Server) Stats() Stats {
 		Workers:       s.cfg.Workers,
 	}
 	st.Errors = st.ClientErrors + st.ServerErrors
+	byContainer := s.cache.usageByContainer()
 	for _, name := range s.names {
 		e := s.byName[name]
 		st.Shards += e.C.NumShards()
 		st.Reads += e.C.Index.TotalReads
+		u := byContainer[name]
+		st.PerContainer = append(st.PerContainer, ContainerStats{
+			Name:         name,
+			Requests:     s.met.containerReqs.With(name).Value(),
+			Shards:       e.C.NumShards(),
+			Reads:        e.C.Index.TotalReads,
+			CacheBytes:   u.bytes,
+			CacheEntries: u.entries,
+		})
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRatio = float64(st.Hits) / float64(total)
