@@ -1,0 +1,36 @@
+package bench
+
+// Allocation budgets for the four hot loops, in allocations per read,
+// enforced by TestAllocBudgets. The gate exists so a regression that
+// reintroduces per-read allocation (a stray Clone, a sort.Slice, a
+// byte-slice-to-string conversion in a loop) fails CI instead of
+// silently eroding throughput.
+//
+// Each budget is a ceiling over the measured post-optimization cost
+// (headroom for runtime/toolchain drift) and is at most half of the
+// pre-optimization measurement, recorded below from the same fixture
+// (2048 simulated short reads, 20 kb reference, single worker):
+//
+//	loop                 before     after    budget
+//	fastq batch scan      4.006     0.022      0.50
+//	qual compress         0.013     0.000      0.01
+//	qual decompress       1.000     0.001      0.05
+//	core compress        37.607    16.468     18.80
+//	core decompress      11.369     0.034      1.00
+//	shard assemble      109.436    19.701     30.00
+//	shard stream-decode  15.542     0.284      2.00
+//
+// "before" figures predate the arena batch reader, pooled range-coder
+// state, pooled mapper scratch, shared per-container mapper, decode
+// arenas, and the sort.Slice→slices.Sort* conversions. If an
+// intentional change raises a number, update the budget alongside the
+// code change and say why in the commit.
+const (
+	budgetFastqScanAllocsPerRead      = 0.50
+	budgetQualCompressAllocsPerRead   = 0.01
+	budgetQualDecompressAllocsPerRead = 0.05
+	budgetCoreCompressAllocsPerRead   = 18.80
+	budgetCoreDecompressAllocsPerRead = 1.00
+	budgetShardAssembleAllocsPerRead  = 30.00
+	budgetShardStreamAllocsPerRead    = 2.00
+)

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// alloc gate skips under -race: instrumentation adds allocations that
+// say nothing about the production binary.
+const raceEnabled = true

@@ -17,8 +17,9 @@
 package consensus
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sage/internal/fastq"
 	"sage/internal/genome"
@@ -72,12 +73,14 @@ func FromReads(rs *fastq.ReadSet, cfg Config) (*Consensus, error) {
 		}
 	}
 	unitigs := buildUnitigs(counts, cfg.K)
-	// Longest-first gives stable, repeat-friendly ordering.
-	sort.Slice(unitigs, func(a, b int) bool {
-		if len(unitigs[a]) != len(unitigs[b]) {
-			return len(unitigs[a]) > len(unitigs[b])
+	// Longest-first gives stable, repeat-friendly ordering. Unitigs are
+	// N-free, so comparing base codes orders them exactly like their
+	// ASCII rendering without materializing it.
+	slices.SortFunc(unitigs, func(a, b genome.Seq) int {
+		if len(a) != len(b) {
+			return len(b) - len(a)
 		}
-		return unitigs[a].String() < unitigs[b].String()
+		return bytes.Compare(a, b)
 	})
 	var seq genome.Seq
 	n := 0
@@ -153,27 +156,32 @@ func buildUnitigs(counts map[uint64]int32, k int) []genome.Seq {
 		return ok
 	}
 	mask := kmerMask(k)
-	// successors of an ORIENTED k-mer code.
-	succs := func(code uint64) []uint64 {
-		var out []uint64
+	// successors of an ORIENTED k-mer code. Fixed-size returns keep the
+	// per-step neighbor probes of every walk allocation-free.
+	succs := func(code uint64) ([4]uint64, int) {
+		var out [4]uint64
+		n := 0
 		base := (code << 2) & mask
 		for b := uint64(0); b < 4; b++ {
 			if exists(base | b) {
-				out = append(out, base|b)
+				out[n] = base | b
+				n++
 			}
 		}
-		return out
+		return out, n
 	}
-	preds := func(code uint64) []uint64 {
-		var out []uint64
+	preds := func(code uint64) ([4]uint64, int) {
+		var out [4]uint64
+		n := 0
 		base := code >> 2
 		for b := uint64(0); b < 4; b++ {
 			cand := b<<(2*uint(k-1)) | base
 			if exists(cand) {
-				out = append(out, cand)
+				out[n] = cand
+				n++
 			}
 		}
-		return out
+		return out, n
 	}
 
 	// Deterministic iteration: sort the canonical codes.
@@ -181,7 +189,7 @@ func buildUnitigs(counts map[uint64]int32, k int) []genome.Seq {
 	for c := range counts {
 		codes = append(codes, c)
 	}
-	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	slices.Sort(codes)
 
 	for _, start := range codes {
 		if visited[start] {
@@ -196,21 +204,21 @@ func buildUnitigs(counts map[uint64]int32, k int) []genome.Seq {
 
 // walk extends an oriented k-mer maximally in both directions through
 // non-branching nodes, marking canonical forms visited.
-func walk(start uint64, succs, preds func(uint64) []uint64, visited map[uint64]bool, k int) []uint64 {
+func walk(start uint64, succs, preds func(uint64) ([4]uint64, int), visited map[uint64]bool, k int) []uint64 {
 	visited[canonical(start, k)] = true
 	path := []uint64{start}
 	// Extend right.
 	cur := start
 	for {
-		ss := succs(cur)
-		if len(ss) != 1 {
+		ss, ns := succs(cur)
+		if ns != 1 {
 			break
 		}
 		next := ss[0]
 		if visited[canonical(next, k)] {
 			break
 		}
-		if len(preds(next)) != 1 {
+		if _, np := preds(next); np != 1 {
 			break
 		}
 		visited[canonical(next, k)] = true
@@ -221,15 +229,15 @@ func walk(start uint64, succs, preds func(uint64) []uint64, visited map[uint64]b
 	cur = start
 	var left []uint64
 	for {
-		ps := preds(cur)
-		if len(ps) != 1 {
+		ps, np := preds(cur)
+		if np != 1 {
 			break
 		}
 		prev := ps[0]
 		if visited[canonical(prev, k)] {
 			break
 		}
-		if len(succs(prev)) != 1 {
+		if _, ns := succs(prev); ns != 1 {
 			break
 		}
 		visited[canonical(prev, k)] = true

@@ -123,11 +123,42 @@ func (rcu *ReadConstructionUnit) ConsBase(cursor int) byte {
 	return rcu.cons[cursor]
 }
 
-// ControlUnit sequences SU and RCU per read (§5.2.1 ➂).
+// ControlUnit sequences SU and RCU per read (§5.2.1 ➂). It owns the
+// decode scratch shared by all reads of a block: the segment plan (at
+// most MaxChimericSegments entries), a reverse-segment staging buffer,
+// and the arena that decoded sequences are carved from — one slab
+// allocation per ~256 KiB of bases instead of one per read. Decoded
+// Seqs therefore share backing arrays and must be treated as immutable
+// and retained together (the rule serve's shard LRU already follows).
 type ControlUnit struct {
-	su  *ScanUnit
-	rcu *ReadConstructionUnit
-	hdr *header
+	su      *ScanUnit
+	rcu     *ReadConstructionUnit
+	hdr     *header
+	segs    [mapper.MaxChimericSegments]segPlan
+	scratch genome.Seq
+	arena   seqArena
+}
+
+// seqArena carves exact-size, capacity-clipped sequence buffers out of
+// shared slabs (append past a read's end reallocates — a corrupt stream
+// cannot overrun a neighboring read).
+type seqArena struct {
+	slab genome.Seq
+}
+
+const seqArenaSlabBytes = 256 << 10
+
+func (a *seqArena) take(n int) genome.Seq {
+	if len(a.slab) < n {
+		sz := seqArenaSlabBytes
+		if sz < n {
+			sz = n
+		}
+		a.slab = make(genome.Seq, sz)
+	}
+	b := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return b
 }
 
 // DecodeResult carries the reconstructed read set plus sizing details.
@@ -244,7 +275,7 @@ func (cu *ControlUnit) decodeRead(prevPos *int) (genome.Seq, error) {
 	if readLen > cu.hdr.maxReadLen {
 		return nil, fmt.Errorf("core: read length %d exceeds header maximum %d", readLen, cu.hdr.maxReadLen)
 	}
-	segs := make([]segPlan, nSegs)
+	segs := cu.segs[:nSegs]
 	segs[0] = segPlan{consPos: pos, rev: rev0}
 	extraLen := 0
 	for s := 1; s < nSegs; s++ {
@@ -268,21 +299,35 @@ func (cu *ControlUnit) decodeRead(prevPos *int) (genome.Seq, error) {
 		return nil, fmt.Errorf("core: segment lengths exceed read length %d", readLen)
 	}
 
-	out := make(genome.Seq, 0, readLen)
+	// The read decodes straight into an exact-size arena buffer; only
+	// reverse segments stage through scratch (they must be complemented
+	// back-to-front, which in-place appending cannot do).
+	out := cu.arena.take(readLen)[:0]
 	baseBits := uint(2) // widened to 3 by a corner record with the N flag
 	for s := range segs {
-		piece, raw, err := cu.decodeSegment(s == 0, segs[s], readLen, &baseBits)
+		if !segs[s].rev {
+			var raw bool
+			out, raw, err = cu.decodeSegment(out, s == 0, segs[s], readLen, &baseBits)
+			if err != nil {
+				return nil, err
+			}
+			if raw {
+				// Unmapped read: the payload was the entire read.
+				return out, nil
+			}
+			continue
+		}
+		scratch, raw, err := cu.decodeSegment(cu.scratch[:0], s == 0, segs[s], readLen, &baseBits)
+		cu.scratch = scratch[:0]
 		if err != nil {
 			return nil, err
 		}
 		if raw {
-			// Unmapped read: the payload is the entire read.
-			return piece, nil
+			// Unmapped payloads bypass strand handling: stored forward.
+			out = append(out, scratch...)
+			return out, nil
 		}
-		if segs[s].rev {
-			piece = piece.ReverseComplement()
-		}
-		out = append(out, piece...)
+		out = genome.AppendReverseComplement(out, scratch)
 	}
 	if len(out) != readLen {
 		return nil, fmt.Errorf("core: reconstructed %d bases, want %d", len(out), readLen)
@@ -290,61 +335,52 @@ func (cu *ControlUnit) decodeRead(prevPos *int) (genome.Seq, error) {
 	return out, nil
 }
 
-// decodeSegment reconstructs one segment. raw reports that the read was
-// stored unmapped (whole read returned).
-func (cu *ControlUnit) decodeSegment(first bool, sp segPlan, readLen int, baseBits *uint) (piece genome.Seq, raw bool, err error) {
+// decodeSegment reconstructs one segment, appending its bases to dst
+// and returning the extended slice. raw reports that the read was
+// stored unmapped (the whole read was appended).
+func (cu *ControlUnit) decodeSegment(dst genome.Seq, first bool, sp segPlan, readLen int, baseBits *uint) (out genome.Seq, raw bool, err error) {
 	su, rcu := cu.su, cu.rcu
 	count, err := su.MismatchCount()
 	if err != nil {
-		return nil, false, err
+		return dst, false, err
 	}
-	out := make(genome.Seq, 0, sp.length)
+	out = dst
+	segStart := len(dst)
 	cursor := sp.consPos
 	prevMis := 0
-	copyTo := func(target int) error {
-		for len(out) < target {
-			if cursor < 0 || cursor >= len(rcu.cons) {
-				return fmt.Errorf("core: consensus cursor %d out of range", cursor)
-			}
-			out = append(out, rcu.cons[cursor])
-			cursor++
-		}
-		return nil
-	}
 	for j := 0; j < count; j++ {
 		d, err := su.MismatchDelta()
 		if err != nil {
-			return nil, false, err
+			return out, false, err
 		}
 		if first && j == 0 && d == 0 {
 			disamb, err := rcu.Bit()
 			if err != nil {
-				return nil, false, err
+				return out, false, err
 			}
 			if disamb == 0 {
 				// Corner record (§5.1.4): payload = alphabet flag +
 				// unmapped flag.
 				hasN, err := rcu.Bit()
 				if err != nil {
-					return nil, false, err
+					return out, false, err
 				}
 				if hasN == 1 {
 					*baseBits = 3
 				}
 				unmapped, err := rcu.Bit()
 				if err != nil {
-					return nil, false, err
+					return out, false, err
 				}
 				if unmapped == 1 {
-					whole := make(genome.Seq, readLen)
-					for i := range whole {
+					for i := 0; i < readLen; i++ {
 						b, err := rcu.Base(*baseBits)
 						if err != nil {
-							return nil, false, err
+							return out, false, err
 						}
-						whole[i] = b
+						out = append(out, b)
 					}
-					return whole, true, nil
+					return out, true, nil
 				}
 				continue // synthetic mismatch consumed; prevMis stays 0
 			}
@@ -353,14 +389,14 @@ func (cu *ControlUnit) decodeSegment(first bool, sp segPlan, readLen int, baseBi
 		misPos := prevMis + int(d)
 		prevMis = misPos
 		if misPos > sp.length {
-			return nil, false, fmt.Errorf("core: mismatch position %d beyond segment length %d", misPos, sp.length)
+			return out, false, fmt.Errorf("core: mismatch position %d beyond segment length %d", misPos, sp.length)
 		}
-		if err := copyTo(misPos); err != nil {
-			return nil, false, err
+		if out, err = consCopy(out, rcu.cons, &cursor, segStart+misPos); err != nil {
+			return out, false, err
 		}
 		marker, err := rcu.Base(*baseBits)
 		if err != nil {
-			return nil, false, err
+			return out, false, err
 		}
 		if marker != rcu.ConsBase(cursor) {
 			// Substitution inferred (§5.1.2): the marker IS the base.
@@ -372,17 +408,17 @@ func (cu *ControlUnit) decodeSegment(first bool, sp segPlan, readLen int, baseBi
 		// (Fig. 11 ❽❾: the RCU signals the SU to read the indel length).
 		insBit, err := rcu.Bit()
 		if err != nil {
-			return nil, false, err
+			return out, false, err
 		}
 		l, err := su.IndelLen()
 		if err != nil {
-			return nil, false, err
+			return out, false, err
 		}
 		if insBit == 1 {
 			for k := 0; k < l; k++ {
 				b, err := rcu.Base(*baseBits)
 				if err != nil {
-					return nil, false, err
+					return out, false, err
 				}
 				out = append(out, b)
 			}
@@ -390,13 +426,26 @@ func (cu *ControlUnit) decodeSegment(first bool, sp segPlan, readLen int, baseBi
 			cursor += l
 		}
 	}
-	if err := copyTo(sp.length); err != nil {
-		return nil, false, err
+	if out, err = consCopy(out, rcu.cons, &cursor, segStart+sp.length); err != nil {
+		return out, false, err
 	}
-	if len(out) != sp.length {
-		return nil, false, fmt.Errorf("core: segment reconstructed %d bases, want %d", len(out), sp.length)
+	if len(out)-segStart != sp.length {
+		return out, false, fmt.Errorf("core: segment reconstructed %d bases, want %d", len(out)-segStart, sp.length)
 	}
 	return out, false, nil
+}
+
+// consCopy appends consensus bases at *cursor to out until it reaches
+// target length, advancing the cursor.
+func consCopy(out, cons genome.Seq, cursor *int, target int) (genome.Seq, error) {
+	for len(out) < target {
+		if *cursor < 0 || *cursor >= len(cons) {
+			return out, fmt.Errorf("core: consensus cursor %d out of range", *cursor)
+		}
+		out = append(out, cons[*cursor])
+		*cursor++
+	}
+	return out, nil
 }
 
 // FormatReads renders decompressed reads in the format requested via

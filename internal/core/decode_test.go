@@ -185,6 +185,7 @@ func BenchmarkCoreCompressShort(b *testing.B) {
 	rs := makeBenchReads(rng, ref, 800)
 	opt := DefaultOptions(ref)
 	b.SetBytes(int64(rs.TotalBases()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compress(rs, opt); err != nil {
@@ -202,6 +203,7 @@ func BenchmarkCoreDecompressShort(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(rs.TotalBases()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decompress(enc.Data, nil); err != nil {

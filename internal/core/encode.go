@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"sage/internal/bitio"
@@ -30,6 +31,13 @@ type Options struct {
 	IncludeHeaders bool
 	// Mapper configures compression-time mismatch finding.
 	Mapper mapper.Config
+	// SharedMapper, when non-nil, is used instead of building a new
+	// mapper (and its k-mer index) over Consensus. Mapper.Map is
+	// read-only, so one mapper can serve many concurrent Compress calls
+	// — the sharded writer builds one index per container instead of one
+	// per shard. The mapper must have been built over the same
+	// Consensus.
+	SharedMapper *mapper.Mapper
 	// Tune configures Algorithm 1.
 	Tune TuneConfig
 	// Workers bounds mapping parallelism (0 = GOMAXPROCS).
@@ -124,9 +132,16 @@ func Compress(rs *fastq.ReadSet, opt Options) (*Encoded, error) {
 			}
 		}
 	}
-	m, err := mapper.New(opt.Consensus, opt.Mapper)
-	if err != nil {
-		return nil, err
+	m := opt.SharedMapper
+	if m != nil && !m.Consensus().Equal(opt.Consensus) {
+		return nil, fmt.Errorf("core: SharedMapper was built over a different consensus")
+	}
+	if m == nil {
+		var err error
+		m, err = mapper.New(opt.Consensus, opt.Mapper)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Pass 1: map every read, validate losslessness of each alignment,
@@ -135,15 +150,17 @@ func Compress(rs *fastq.ReadSet, opt Options) (*Encoded, error) {
 
 	// Reorder by matching position (§5.1.3); unmapped reads go last in
 	// stable input order.
-	sort.SliceStable(plans, func(a, b int) bool {
-		am, bm := plans[a].aln.Mapped, plans[b].aln.Mapped
-		if am != bm {
-			return am
+	slices.SortStableFunc(plans, func(a, b readPlan) int {
+		if a.aln.Mapped != b.aln.Mapped {
+			if a.aln.Mapped {
+				return -1
+			}
+			return 1
 		}
-		if !am {
-			return false
+		if !a.aln.Mapped {
+			return 0
 		}
-		return plans[a].sortKey < plans[b].sortKey
+		return cmp.Compare(a.sortKey, b.sortKey)
 	})
 
 	st := Stats{

@@ -1,0 +1,66 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"sage/internal/genome"
+)
+
+// benchFastqText synthesizes FASTQ text for the scan benchmarks:
+// shard-sized batches of 150-base reads, the shape the compression
+// pipeline ingests.
+func benchFastqText(reads int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	rs := &ReadSet{Records: make([]Record, reads)}
+	for i := range rs.Records {
+		seq := genome.Random(rng, 150)
+		qual := make([]byte, len(seq))
+		for j := range qual {
+			qual[j] = byte(20 + rng.Intn(20))
+		}
+		rs.Records[i] = Record{Header: "read/" + string(rune('a'+i%26)), Seq: seq, Qual: qual}
+	}
+	return rs.Bytes()
+}
+
+func BenchmarkScannerNext(b *testing.B) {
+	text := benchFastqText(2048)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := NewScanner(bytes.NewReader(text))
+		for {
+			if _, err := sc.Next(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchScan is the hot ingest loop: the arena-backed batch
+// reader the parallel compressor feeds from. Allocations per op should
+// stay O(batches), not O(reads).
+func BenchmarkBatchScan(b *testing.B) {
+	text := benchFastqText(2048)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := NewBatchReader(bytes.NewReader(text), 256)
+		for {
+			if _, err := br.Next(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}

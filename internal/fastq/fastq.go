@@ -134,26 +134,27 @@ func (rs *ReadSet) QualSize() int {
 	return n
 }
 
-// Write serializes the read set as FASTQ text.
+// Write serializes the read set as FASTQ text. One line buffer is
+// reused across records, so serialization allocates O(1) regardless of
+// read count.
 func (rs *ReadSet) Write(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	var line []byte
 	for i := range rs.Records {
 		r := &rs.Records[i]
 		if err := r.Validate(); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n", r.Header, r.Seq.String()); err != nil {
-			return err
+		line = append(line[:0], '@')
+		line = append(line, r.Header...)
+		line = append(line, '\n')
+		line = genome.AppendASCII(line, r.Seq)
+		line = append(line, '\n', '+', '\n')
+		for _, p := range r.Qual {
+			line = append(line, p+QualityOffset)
 		}
-		q := make([]byte, len(r.Qual)+1)
-		for j, p := range r.Qual {
-			q[j] = p + QualityOffset
-		}
-		q[len(q)-1] = '\n'
-		if r.Qual == nil {
-			q = q[len(q)-1:]
-		}
-		if _, err := bw.Write(q); err != nil {
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}

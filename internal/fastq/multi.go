@@ -1,9 +1,9 @@
 package fastq
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // Real sequencing runs arrive as many FASTQ files — paired-end mates
@@ -55,6 +55,7 @@ type multiSource struct {
 // call.
 type MultiReader struct {
 	srcs   []multiSource
+	bb     batchBuilder
 	size   int
 	cur    int
 	next   int // global batch index
@@ -164,29 +165,34 @@ func (m *MultiReader) Next() (Batch, error) {
 	return Batch{}, io.EOF
 }
 
-// fillSingle reads up to size records from a single-file source.
+// fillSingle reads up to size records from a single-file source into
+// the reader's batch builder.
 func (m *MultiReader) fillSingle(s *multiSource) ([]Record, error) {
-	recs := make([]Record, 0, m.size)
-	for len(recs) < m.size {
-		rec, err := s.r1.Next()
+	m.bb.start(m.size)
+	var rr rawRecord
+	for len(m.bb.recs) < m.size {
+		err := s.r1.nextRaw(&rr)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, fmt.Errorf("fastq: file %s: %w", s.src.Name, err)
 		}
-		recs = append(recs, rec)
+		m.bb.add(&rr)
 	}
-	return recs, nil
+	return m.bb.finish(), nil
 }
 
 // fillPaired reads up to size records (size/2 mate pairs) from a paired
-// source, validating mate agreement pair by pair.
+// source, validating mate agreement pair by pair. The two scanners have
+// independent buffers, so both raw views stay valid while a pair is
+// checked and converted.
 func (m *MultiReader) fillPaired(s *multiSource) ([]Record, error) {
-	recs := make([]Record, 0, m.size)
-	for len(recs) < m.size {
-		r1, err1 := s.r1.Next()
-		r2, err2 := s.r2.Next()
+	m.bb.start(m.size)
+	var rr1, rr2 rawRecord
+	for len(m.bb.recs) < m.size {
+		err1 := s.r1.nextRaw(&rr1)
+		err2 := s.r2.nextRaw(&rr2)
 		// A real parse error outranks the other file's clean EOF: an
 		// "unequal read counts" report would mask the corruption.
 		if err1 != nil && err1 != io.EOF {
@@ -206,22 +212,23 @@ func (m *MultiReader) fillPaired(s *multiSource) ([]Record, error) {
 			return nil, fmt.Errorf("fastq: paired inputs have unequal read counts: %s ended after %d reads while %s has more",
 				short, s.pairs, long)
 		}
-		if mateKey(r1.Header) != mateKey(r2.Header) {
+		if !bytes.Equal(mateKeyBytes(rr1.header), mateKeyBytes(rr2.header)) {
 			return nil, fmt.Errorf("fastq: mate name mismatch at pair %d of %s/%s: %q vs %q",
-				s.pairs, s.src.Name, s.src.Mate, r1.Header, r2.Header)
+				s.pairs, s.src.Name, s.src.Mate, rr1.header, rr2.header)
 		}
 		s.pairs++
-		recs = append(recs, r1, r2)
+		m.bb.add(&rr1)
+		m.bb.add(&rr2)
 	}
-	return recs, nil
+	return m.bb.finish(), nil
 }
 
-// mateKey reduces a read header to the name both mates of a pair must
-// share: the part before the first space (Casava 1.8+ keeps the mate
-// number in the comment), with a classic trailing "/1" or "/2" mate
-// suffix stripped.
-func mateKey(h string) string {
-	if i := strings.IndexByte(h, ' '); i >= 0 {
+// mateKeyBytes reduces a read header to the name both mates of a pair
+// must share: the part before the first space (Casava 1.8+ keeps the
+// mate number in the comment), with a classic trailing "/1" or "/2"
+// mate suffix stripped.
+func mateKeyBytes(h []byte) []byte {
+	if i := bytes.IndexByte(h, ' '); i >= 0 {
 		h = h[:i]
 	}
 	if n := len(h); n >= 2 && h[n-2] == '/' && (h[n-1] == '1' || h[n-1] == '2') {
@@ -229,3 +236,6 @@ func mateKey(h string) string {
 	}
 	return h
 }
+
+// mateKey is mateKeyBytes for string headers.
+func mateKey(h string) string { return string(mateKeyBytes([]byte(h))) }

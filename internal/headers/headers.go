@@ -36,7 +36,12 @@ type token struct {
 }
 
 func tokenize(h string) []token {
-	var out []token
+	return tokenizeAppend(nil, h)
+}
+
+// tokenizeAppend appends h's tokens to dst, returning the extended
+// slice, so a block of headers tokenizes into one shared backing array.
+func tokenizeAppend(out []token, h string) []token {
 	i := 0
 	for i < len(h) {
 		j := i
@@ -81,59 +86,71 @@ func templateOf(toks []token) string {
 	return b.String()
 }
 
+// sameTemplate reports whether two tokenizations share a skeleton,
+// without materializing either template string.
+func sameTemplate(a, b []token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].numeric != b[i].numeric {
+			return false
+		}
+		if !a[i].numeric && a[i].literal != b[i].literal {
+			return false
+		}
+	}
+	return true
+}
+
 // Compress encodes the header list.
 func Compress(hs []string) ([]byte, error) {
 	if len(hs) == 0 {
 		return []byte{modeTemplated, 0}, nil
 	}
-	toks := make([][]token, len(hs))
+	// All headers tokenize into one flat slice; offs[i]..offs[i+1] is
+	// header i's token run.
+	flat := make([]token, 0, 4*len(hs))
+	offs := make([]int, len(hs)+1)
 	for i, h := range hs {
-		toks[i] = tokenize(h)
+		flat = tokenizeAppend(flat, h)
+		offs[i+1] = len(flat)
 	}
-	tmpl := templateOf(toks[0])
+	first := flat[offs[0]:offs[1]]
 	uniform := true
-	for _, tk := range toks[1:] {
-		if templateOf(tk) != tmpl {
-			uniform = false
-			break
-		}
+	for i := 1; i < len(hs) && uniform; i++ {
+		uniform = sameTemplate(first, flat[offs[i]:offs[i+1]])
 	}
 	if uniform {
-		return compressTemplated(hs, toks, tmpl)
+		return compressTemplated(hs, flat, offs)
 	}
 	return compressRaw(hs)
 }
 
-func compressTemplated(hs []string, toks [][]token, tmpl string) ([]byte, error) {
+func compressTemplated(hs []string, flat []token, offs []int) ([]byte, error) {
+	first := flat[offs[0]:offs[1]]
+	tmpl := templateOf(first)
 	var buf bytes.Buffer
 	buf.WriteByte(modeTemplated)
 	writeUvarint(&buf, uint64(len(hs)))
 	writeUvarint(&buf, uint64(len(tmpl)))
 	buf.WriteString(tmpl)
-	// Numeric slots per header.
-	nSlots := 0
-	for _, t := range toks[0] {
+	// Numeric slots per header; templates are uniform, so the token
+	// index of each slot is shared by every header.
+	var slotIdx []int
+	for k, t := range first {
 		if t.numeric {
-			nSlots++
+			slotIdx = append(slotIdx, k)
 		}
 	}
+	nSlots := len(slotIdx)
 	writeUvarint(&buf, uint64(nSlots))
 	// Per slot: widths and zig-zag deltas of values.
 	w := bitio.NewWriter(len(hs) * nSlots)
 	for s := 0; s < nSlots; s++ {
 		var prev uint64
-		for i := range toks {
-			var t token
-			k := 0
-			for _, tt := range toks[i] {
-				if tt.numeric {
-					if k == s {
-						t = tt
-						break
-					}
-					k++
-				}
-			}
+		for i := range hs {
+			t := flat[offs[i]+slotIdx[s]]
 			bitio.PutUvarint64(w, uint64(t.width))
 			bitio.PutUvarint64(w, zigzag(int64(t.value)-int64(prev)))
 			prev = t.value
@@ -217,14 +234,23 @@ func decompressTemplated(data []byte) ([]string, error) {
 		return nil, err
 	}
 	br := bitio.NewReader(body, bodyBits)
-	// values[s][i]
+	// Every (width, delta) pair costs at least 16 bits, which bounds the
+	// slot table a non-lying stream can demand — reject anything larger
+	// before allocating it.
+	bitLimit := uint64(len(body)) * 8
+	if bodyBits < bitLimit {
+		bitLimit = bodyBits
+	}
+	if nSlots > 0 && n > bitLimit/16/nSlots {
+		return nil, fmt.Errorf("headers: %d slots x %d headers exceeds %d-bit body", nSlots, n, bitLimit)
+	}
+	// vals[s*n+i] is slot s of header i, decoded in one flat slice.
 	type slotVal struct {
 		width int
 		value uint64
 	}
-	vals := make([][]slotVal, nSlots)
-	for s := range vals {
-		vals[s] = make([]slotVal, n)
+	vals := make([]slotVal, nSlots*n)
+	for s := uint64(0); s < nSlots; s++ {
 		var prev uint64
 		for i := uint64(0); i < n; i++ {
 			wd, err := bitio.ReadUvarint64(br)
@@ -236,27 +262,55 @@ func decompressTemplated(data []byte) ([]string, error) {
 				return nil, err
 			}
 			v := uint64(int64(prev) + unzigzag(zz))
-			vals[s][i] = slotVal{width: int(wd), value: v}
+			vals[s*n+i] = slotVal{width: int(wd), value: v}
 			prev = v
 		}
 	}
+	// Render every header into one byte buffer, convert to a string
+	// once, and hand out sub-slices: O(1) allocations for the block
+	// instead of two per header. The returned strings share backing
+	// memory and are retained together.
 	out := make([]string, n)
+	hbuf := make([]byte, 0, (len(tmpl)+8)*int(n))
+	hoffs := make([]int, n+1)
 	for i := uint64(0); i < n; i++ {
-		var b strings.Builder
-		slot := 0
+		slot := uint64(0)
 		for _, c := range tmpl {
 			if c == 0 {
-				sv := vals[slot][i]
+				sv := vals[slot*n+i]
 				slot++
-				digits := fmt.Sprintf("%0*d", sv.width, sv.value)
-				b.WriteString(digits)
+				hbuf = appendZeroPad(hbuf, sv.value, sv.width)
 			} else {
-				b.WriteByte(c)
+				hbuf = append(hbuf, c)
 			}
 		}
-		out[i] = b.String()
+		hoffs[i+1] = len(hbuf)
+	}
+	hs := string(hbuf)
+	for i := range out {
+		out[i] = hs[hoffs[i]:hoffs[i+1]]
 	}
 	return out, nil
+}
+
+// appendZeroPad appends v in decimal, left-padded with zeros to at
+// least width digits (the inverse of tokenize's width capture), without
+// the fmt machinery.
+func appendZeroPad(dst []byte, v uint64, width int) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for pad := width - (len(tmp) - i); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, tmp[i:]...)
 }
 
 func decompressRaw(data []byte) ([]string, error) {

@@ -94,7 +94,12 @@ const (
 // band bounds |windowCol - readRow| during the DP; callers size it from
 // the observed seed-diagonal spread plus slack, which keeps the DP linear
 // in read length, the same reason SAGe's hardware can stream (§5.2).
-func fitAlign(read, window genome.Seq, band int) (consStart int, edits []Edit, cost int, err error) {
+// The DP and traceback matrices live in sc and are reused across calls:
+// every in-band cell is written before it is read (row 0 is initialized
+// explicitly, later rows only consult in-band predecessors their row
+// loops wrote), so stale contents from a previous alignment are never
+// observed.
+func fitAlign(sc *mapScratch, read, window genome.Seq, band int) (consStart int, edits []Edit, cost int, err error) {
 	n, m := len(read), len(window)
 	if n == 0 {
 		return 0, nil, 0, nil
@@ -108,8 +113,12 @@ func fitAlign(read, window genome.Seq, band int) (consStart int, edits []Edit, c
 	width := 2*band + 1
 	const inf = int32(1) << 30
 	// dp[i][j-i+band]; rows 0..n, banded columns.
-	dp := make([]int32, (n+1)*width)
-	tb := make([]opKind, (n+1)*width)
+	need := (n + 1) * width
+	if cap(sc.dp) < need {
+		sc.dp = make([]int32, need)
+		sc.tb = make([]opKind, need)
+	}
+	dp, tb := sc.dp[:need], sc.tb[:need]
 	at := func(i, j int) int { return i*width + (j - i + band) }
 	inBand := func(i, j int) bool { d := j - i; return d >= -band && d <= band && j >= 0 && j <= m }
 
@@ -176,7 +185,7 @@ func fitAlign(read, window genome.Seq, band int) (consStart int, edits []Edit, c
 	}
 
 	// Traceback, collecting ops in reverse.
-	ops := make([]opKind, 0, n+int(bestC))
+	ops := sc.ops[:0]
 	i, j := n, bestJ
 	for i > 0 {
 		op := tb[at(i, j)]
@@ -232,6 +241,7 @@ func fitAlign(read, window genome.Seq, band int) (consStart int, edits []Edit, c
 			})
 		}
 	}
+	sc.ops = ops
 	return consStart, edits, int(bestC), nil
 }
 

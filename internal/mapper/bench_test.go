@@ -72,7 +72,7 @@ func BenchmarkFitAlign(b *testing.B) {
 	b.SetBytes(int64(len(read)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := fitAlign(read, cons, 250); err != nil {
+		if _, _, _, err := fitAlign(new(mapScratch), read, cons, 250); err != nil {
 			b.Fatal(err)
 		}
 	}

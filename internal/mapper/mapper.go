@@ -1,7 +1,9 @@
 package mapper
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"sync"
 
 	"sage/internal/genome"
 )
@@ -89,24 +91,44 @@ type cluster struct {
 
 func (c *cluster) span() int { return c.maxRead - c.minRead + 1 }
 
+// mapScratch holds one Map call's working buffers: the reverse
+// complement, seed hits, clusters, and the banded-DP matrices. It is
+// pooled across calls and goroutines — a Mapper is read-only and shared
+// by every shard worker, so the scratch (not the Mapper) carries all
+// mutable state. Nothing in a returned Alignment aliases the scratch.
+type mapScratch struct {
+	rc       genome.Seq
+	hits     []seedHit
+	clusters []cluster
+	dp       []int32
+	tb       []opKind
+	ops      []opKind
+}
+
+var mapScratchPool = sync.Pool{New: func() any { return new(mapScratch) }}
+
 // Map aligns one read against the consensus. Reads with no adequate
-// alignment return Alignment{Mapped: false}.
+// alignment return Alignment{Mapped: false}. Map is safe for concurrent
+// use: the Mapper is never mutated.
 func (m *Mapper) Map(read genome.Seq) Alignment {
 	if len(read) < m.idx.k {
 		return Alignment{}
 	}
-	fwd := m.collectClusters(read, false)
-	rc := read.ReverseComplement()
-	rev := m.collectClusters(rc, true)
-	clusters := append(fwd, rev...)
+	sc := mapScratchPool.Get().(*mapScratch)
+	defer mapScratchPool.Put(sc)
+	sc.rc = genome.AppendReverseComplement(sc.rc[:0], read)
+	rc := sc.rc
+	sc.clusters = m.collectClusters(sc.clusters[:0], sc, read, false)
+	sc.clusters = m.collectClusters(sc.clusters, sc, rc, true)
+	clusters := sc.clusters
 	if len(clusters) == 0 {
 		return Alignment{}
 	}
-	sort.Slice(clusters, func(a, b int) bool { return clusters[a].count > clusters[b].count })
+	slices.SortFunc(clusters, func(a, b cluster) int { return b.count - a.count })
 
 	// Candidate 1: whole-read alignment on the best cluster.
 	var candidates []Alignment
-	if seg, ok := m.alignWhole(read, rc, clusters[0]); ok {
+	if seg, ok := m.alignWhole(sc, read, rc, clusters[0]); ok {
 		candidates = append(candidates, Alignment{Mapped: true, Segments: []Segment{seg}})
 	}
 	// Candidate 2: chimeric split across up to MaxChimericSegments
@@ -114,7 +136,7 @@ func (m *Mapper) Map(read genome.Seq) Alignment {
 	// yields fewer mismatches; segmentPenalty charges for the extra
 	// matching position each additional segment must store.
 	if !m.cfg.DisableChimeric {
-		if segs, ok := m.alignChimeric(read, rc, clusters); ok {
+		if segs, ok := m.alignChimeric(sc, read, rc, clusters); ok {
 			candidates = append(candidates, Alignment{Mapped: true, Segments: segs})
 		}
 	}
@@ -136,19 +158,20 @@ func (m *Mapper) Map(read genome.Seq) Alignment {
 	return best
 }
 
-// collectClusters seeds oriented as given and clusters hits by diagonal.
-func (m *Mapper) collectClusters(oriented genome.Seq, rev bool) []cluster {
-	var hits []seedHit
+// collectClusters seeds oriented as given, clusters hits by diagonal,
+// and appends the clusters to out.
+func (m *Mapper) collectClusters(out []cluster, sc *mapScratch, oriented genome.Seq, rev bool) []cluster {
+	hits := sc.hits[:0]
 	ForEachKmer(oriented, m.idx.k, m.cfg.SeedStep, func(p int, code uint64) {
 		for _, cp := range m.idx.Lookup(code) {
 			hits = append(hits, seedHit{readPos: p, diag: int(cp) - p})
 		}
 	})
+	sc.hits = hits
 	if len(hits) == 0 {
-		return nil
+		return out
 	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].diag < hits[b].diag })
-	var out []cluster
+	slices.SortFunc(hits, func(a, b seedHit) int { return cmp.Compare(a.diag, b.diag) })
 	cur := cluster{rev: rev, minDiag: hits[0].diag, maxDiag: hits[0].diag,
 		minRead: hits[0].readPos, maxRead: hits[0].readPos, count: 1}
 	for _, h := range hits[1:] {
@@ -176,18 +199,18 @@ func (m *Mapper) collectClusters(oriented genome.Seq, rev bool) []cluster {
 }
 
 // alignWhole aligns the entire read along cluster c.
-func (m *Mapper) alignWhole(read, rc genome.Seq, c cluster) (Segment, bool) {
+func (m *Mapper) alignWhole(sc *mapScratch, read, rc genome.Seq, c cluster) (Segment, bool) {
 	oriented := read
 	if c.rev {
 		oriented = rc
 	}
-	return m.alignPiece(oriented, 0, len(oriented), c)
+	return m.alignPiece(sc, oriented, 0, len(oriented), c)
 }
 
 // alignPiece aligns oriented[start:end] against the consensus window
 // implied by cluster c. The returned segment uses read coordinates of the
 // oriented (possibly reverse-complemented) read.
-func (m *Mapper) alignPiece(oriented genome.Seq, start, end int, c cluster) (Segment, bool) {
+func (m *Mapper) alignPiece(sc *mapScratch, oriented genome.Seq, start, end int, c cluster) (Segment, bool) {
 	cons := m.idx.cons
 	piece := oriented[start:end]
 	spread := c.maxDiag - c.minDiag
@@ -208,7 +231,7 @@ func (m *Mapper) alignPiece(oriented genome.Seq, start, end int, c cluster) (Seg
 	// fitAlign's band must cover the offset of the alignment start
 	// within the window plus indel drift.
 	fitBand := (c.minDiag + start - winLo) + spread + m.cfg.BandPad
-	consStart, edits, cost, err := fitAlign(piece, cons[winLo:winHi], fitBand)
+	consStart, edits, cost, err := fitAlign(sc, piece, cons[winLo:winHi], fitBand)
 	if err != nil {
 		return Segment{}, false
 	}
@@ -225,7 +248,7 @@ func (m *Mapper) alignPiece(oriented genome.Seq, start, end int, c cluster) (Seg
 // alignChimeric covers the read with up to MaxChimericSegments cluster
 // alignments. Cluster read intervals are taken greedily by seed count;
 // gaps between chosen intervals are attached to the adjacent segment.
-func (m *Mapper) alignChimeric(read, rc genome.Seq, clusters []cluster) ([]Segment, bool) {
+func (m *Mapper) alignChimeric(sc *mapScratch, read, rc genome.Seq, clusters []cluster) ([]Segment, bool) {
 	type iv struct {
 		c      cluster
 		lo, hi int // read-interval in FORWARD read coordinates
@@ -267,7 +290,7 @@ func (m *Mapper) alignChimeric(read, rc genome.Seq, clusters []cluster) ([]Segme
 	if len(chosen) < 2 {
 		return nil, false
 	}
-	sort.Slice(chosen, func(a, b int) bool { return chosen[a].lo < chosen[b].lo })
+	slices.SortFunc(chosen, func(a, b iv) int { return cmp.Compare(a.lo, b.lo) })
 	// Expand intervals to partition [0, n): gaps split midway.
 	chosen[0].lo = 0
 	chosen[len(chosen)-1].hi = n
@@ -290,7 +313,7 @@ func (m *Mapper) alignChimeric(read, rc genome.Seq, clusters []cluster) ([]Segme
 		if e.c.rev {
 			oriented, start, end = rc, n-e.hi, n-e.lo
 		}
-		seg, ok := m.alignPiece(oriented, start, end, e.c)
+		seg, ok := m.alignPiece(sc, oriented, start, end, e.c)
 		if !ok {
 			return nil, false
 		}

@@ -62,7 +62,7 @@ func TestIndexRejectsBadK(t *testing.T) {
 func TestFitAlignExactMatch(t *testing.T) {
 	cons := genome.MustFromString("TTTTACGTACGTTTTT")
 	read := genome.MustFromString("ACGTACGT")
-	start, edits, cost, err := fitAlign(read, cons, 16)
+	start, edits, cost, err := fitAlign(new(mapScratch), read, cons, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestFitAlignExactMatch(t *testing.T) {
 func TestFitAlignSubstitution(t *testing.T) {
 	cons := genome.MustFromString("AAAACGTACGTAAAA")
 	read := genome.MustFromString("CGTTCGT") // one substitution vs CGTACGT
-	start, edits, cost, err := fitAlign(read, cons, 15)
+	start, edits, cost, err := fitAlign(new(mapScratch), read, cons, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestFitAlignIndelBlocks(t *testing.T) {
 	cons := genome.MustFromString("GGGGACGTACGTACGTGGGG")
 	// Read = cons[4:16] with "TT" inserted after 4 bases and 3 bases deleted later.
 	read := genome.MustFromString("ACGTTTACG" + "CGT") // ACGT +TT ACG [TAC deleted] CGT
-	start, edits, cost, err := fitAlign(read, cons, 20)
+	start, edits, cost, err := fitAlign(new(mapScratch), read, cons, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestFitAlignIndelBlocks(t *testing.T) {
 }
 
 func TestFitAlignEmptyWindow(t *testing.T) {
-	if _, _, _, err := fitAlign(genome.MustFromString("ACGT"), nil, 4); err == nil {
+	if _, _, _, err := fitAlign(new(mapScratch), genome.MustFromString("ACGT"), nil, 4); err == nil {
 		t.Fatal("expected error for empty window")
 	}
 }
@@ -163,7 +163,7 @@ func TestQuickFitAlignRoundtrip(t *testing.T) {
 		if winHi > len(cons) {
 			winHi = len(cons)
 		}
-		cs, edits, _, err := fitAlign(read, cons[winLo:winHi], 80)
+		cs, edits, _, err := fitAlign(new(mapScratch), read, cons[winLo:winHi], 80)
 		if err != nil {
 			return false
 		}

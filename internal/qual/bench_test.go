@@ -35,6 +35,7 @@ func BenchmarkQualCompress(b *testing.B) {
 		total += len(q)
 	}
 	b.SetBytes(int64(total))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compress(quals); err != nil {
@@ -54,6 +55,7 @@ func BenchmarkQualDecompress(b *testing.B) {
 		total += len(q)
 	}
 	b.SetBytes(int64(total))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decompress(data, lengths); err != nil {

@@ -3,6 +3,7 @@ package qual
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sage/internal/fastq"
 )
@@ -32,8 +33,15 @@ func contextBase(q1, q2 byte) int {
 	return (b1*prev2Buckets + b2) * treeNodes
 }
 
-func newProbs() []uint16 {
-	p := make([]uint16, numContexts)
+// probsPool recycles the 16 KiB adaptive-probability table across
+// Compress/Decompress calls (and across the shard workers that make
+// them): the table dominates the codec's per-call allocation cost.
+// Tables are re-initialized on checkout, so pool reuse is invisible to
+// the coded stream.
+var probsPool = sync.Pool{New: func() any { return new([numContexts]uint16) }}
+
+func getProbs() *[numContexts]uint16 {
+	p := probsPool.Get().(*[numContexts]uint16)
 	for i := range p {
 		p[i] = probInit
 	}
@@ -46,8 +54,10 @@ func newProbs() []uint16 {
 // (§5.1.5: "SAGe maintains the same order for DNA bases and quality
 // scores").
 func Compress(quals [][]byte) ([]byte, error) {
-	enc := newRCEncoder()
-	probs := newProbs()
+	enc := getEncoder()
+	defer putEncoder(enc)
+	probs := getProbs()
+	defer probsPool.Put(probs)
 	for _, q := range quals {
 		q1, q2 := byte(0), byte(0)
 		for _, s := range q {
@@ -80,11 +90,24 @@ func Decompress(data []byte, lengths []int) ([][]byte, error) {
 	if uint64(len(data)-8) < bodyLen {
 		return nil, fmt.Errorf("qual: stream body truncated: have %d want %d", len(data)-8, bodyLen)
 	}
-	dec := newRCDecoder(data[8 : 8+bodyLen])
-	probs := newProbs()
+	var dec rcDecoder
+	dec.init(data[8 : 8+bodyLen])
+	probs := getProbs()
+	defer probsPool.Put(probs)
+	// All scores decode into one flat buffer sub-sliced per read
+	// (capacity-clipped, so an appending caller reallocates rather than
+	// overruns a neighbor): two allocations for the whole block instead
+	// of one per read. The per-read slices share backing memory and are
+	// retained together — the same ownership rule batch records follow.
+	total := 0
+	for _, l := range lengths {
+		total += l
+	}
+	flat := make([]byte, total)
 	out := make([][]byte, len(lengths))
 	for r, l := range lengths {
-		q := make([]byte, l)
+		q := flat[:l:l]
+		flat = flat[l:]
 		q1, q2 := byte(0), byte(0)
 		for i := 0; i < l; i++ {
 			base := contextBase(q1, q2)

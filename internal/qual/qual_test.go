@@ -171,7 +171,7 @@ func TestRangeCoderBits(t *testing.T) {
 			bits[i] = 1
 		}
 	}
-	enc := newRCEncoder()
+	enc := getEncoder()
 	p := uint16(probInit)
 	for _, b := range bits {
 		enc.encodeBit(&p, b)
@@ -181,7 +181,8 @@ func TestRangeCoderBits(t *testing.T) {
 	if len(data) > 550 {
 		t.Fatalf("range coder output %d bytes; expected < 550 for skewed source", len(data))
 	}
-	dec := newRCDecoder(data)
+	var dec rcDecoder
+	dec.init(data)
 	p = probInit
 	for i, want := range bits {
 		if got := dec.decodeBit(&p); got != want {

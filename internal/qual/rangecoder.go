@@ -14,6 +14,8 @@ package qual
 // by LZMA: 32-bit range, 12-bit adaptive probabilities, 5-bit adaptation
 // shift.
 
+import "sync"
+
 const (
 	probBits  = 12
 	probInit  = 1 << (probBits - 1)
@@ -29,9 +31,18 @@ type rcEncoder struct {
 	out       []byte
 }
 
-func newRCEncoder() *rcEncoder {
-	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+// encPool recycles encoders (and with them the grown output buffer)
+// across calls and workers. flush hands out a view of e.out, so callers
+// must copy the body before putEncoder returns the buffer to the pool.
+var encPool = sync.Pool{New: func() any { return new(rcEncoder) }}
+
+func getEncoder() *rcEncoder {
+	e := encPool.Get().(*rcEncoder)
+	e.low, e.rng, e.cache, e.cacheSize, e.out = 0, 0xFFFFFFFF, 0, 1, e.out[:0]
+	return e
 }
+
+func putEncoder(e *rcEncoder) { encPool.Put(e) }
 
 // encodeBit codes bit under the adaptive probability *p (probability of
 // the bit being 0, in 1/4096 units) and updates *p.
@@ -82,14 +93,14 @@ type rcDecoder struct {
 	pos  int
 }
 
-func newRCDecoder(in []byte) *rcDecoder {
-	d := &rcDecoder{rng: 0xFFFFFFFF, in: in}
+// init primes a (possibly stack-allocated) decoder over in.
+func (d *rcDecoder) init(in []byte) {
+	*d = rcDecoder{rng: 0xFFFFFFFF, in: in}
 	// The first output byte of the encoder is always 0 (cache priming);
 	// consume it plus 4 code bytes.
 	for i := 0; i < 5; i++ {
 		d.code = d.code<<8 | uint32(d.next())
 	}
-	return d
 }
 
 func (d *rcDecoder) next() byte {

@@ -26,6 +26,7 @@ func BenchmarkCompress(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opt.Workers = workers
 			b.SetBytes(raw)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := Compress(rs, opt); err != nil {
@@ -46,6 +47,7 @@ func BenchmarkDecompress(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(raw)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Decompress(data, nil, workers); err != nil {

@@ -12,6 +12,7 @@ import (
 	"sage/internal/core"
 	"sage/internal/fastq"
 	"sage/internal/genome"
+	"sage/internal/mapper"
 )
 
 // DefaultShardReads is the default shard size: large enough that the
@@ -146,6 +147,15 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 		return nil, fmt.Errorf("shard: a consensus sequence is required")
 	}
 	blockOpt := opt.blockOptions()
+	if blockOpt.SharedMapper == nil {
+		// Build the consensus k-mer index once per container, not once
+		// per shard: Mapper.Map is read-only, so every worker shares it.
+		m, err := mapper.New(blockOpt.Consensus, blockOpt.Mapper)
+		if err != nil {
+			return nil, err
+		}
+		blockOpt.SharedMapper = m
+	}
 
 	var (
 		mu       sync.Mutex

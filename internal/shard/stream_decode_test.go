@@ -73,6 +73,70 @@ func TestDecompressToEmptyContainer(t *testing.T) {
 	}
 }
 
+// TestDecompressToWorkersExceedShards hands the pool far more workers
+// than shards: the surplus must idle harmlessly (no deadlock on the
+// admission window, no dropped or duplicated shards).
+func TestDecompressToWorkersExceedShards(t *testing.T) {
+	rs, ref := testSet(t, 90)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 30 // 3 shards
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress(data, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 3 {
+		t.Fatalf("fixture has %d shards, want 3", c.NumShards())
+	}
+	var buf bytes.Buffer
+	if err := c.DecompressTo(&buf, nil, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Fatal("16 workers over 3 shards: streamed bytes differ from Decompress")
+	}
+}
+
+// TestDecompressToOneReadShards streams a container degenerately cut
+// into one read per shard — the worst ratio of shard machinery (index
+// entries, per-shard consensus mapping, write-order tokens) to payload.
+func TestDecompressToOneReadShards(t *testing.T) {
+	rs, ref := testSet(t, 24)
+	opt := DefaultOptions(ref)
+	opt.ShardReads = 1
+	data, _, err := Compress(rs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 24 {
+		t.Fatalf("got %d shards, want one per read (24)", c.NumShards())
+	}
+	want, err := Decompress(data, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 32} {
+		var buf bytes.Buffer
+		if err := c.DecompressTo(&buf, nil, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: one-read shards streamed wrong bytes", workers)
+		}
+	}
+}
+
 // blockingWriter parks on its first Write until released, then passes
 // everything through.
 type blockingWriter struct {
@@ -108,37 +172,44 @@ func TestDecompressToBoundedWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const workers = 2
-	var started atomic.Int32
-	testDecodeStarted = func(int) { started.Add(1) }
-	defer func() { testDecodeStarted = nil }()
-
-	var out bytes.Buffer
-	bw := &blockingWriter{w: &out, release: make(chan struct{}), firstHit: make(chan struct{})}
-	done := make(chan error, 1)
-	go func() { done <- c.DecompressTo(bw, nil, workers) }()
-
-	// Writer is now wedged mid-shard-0. Give the workers every chance to
-	// race ahead; the admission window must hold them to workers+1
-	// decodes no matter how long we wait.
-	<-bw.firstHit
-	time.Sleep(200 * time.Millisecond)
-	if n := started.Load(); n > workers+1 {
-		t.Errorf("decoder ran %d shards ahead of a wedged writer, window is %d", n, workers+1)
-	}
-	close(bw.release)
-	if err := <-done; err != nil {
-		t.Fatal(err)
-	}
-	if n := started.Load(); n != int32(c.NumShards()) {
-		t.Fatalf("decoded %d shards, want %d", n, c.NumShards())
-	}
 	want, err := Decompress(data, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(out.Bytes(), want.Bytes()) {
-		t.Fatal("streamed bytes differ from Decompress after unwedging")
+
+	// workers=1 is the tightest window; workers=2 is the original
+	// regression case. Peak resident decoded shards is the window size,
+	// workers+1, regardless of worker count.
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var started atomic.Int32
+			testDecodeStarted = func(int) { started.Add(1) }
+			defer func() { testDecodeStarted = nil }()
+
+			var out bytes.Buffer
+			bw := &blockingWriter{w: &out, release: make(chan struct{}), firstHit: make(chan struct{})}
+			done := make(chan error, 1)
+			go func() { done <- c.DecompressTo(bw, nil, workers) }()
+
+			// Writer is now wedged mid-shard-0. Give the workers every
+			// chance to race ahead; the admission window must hold them to
+			// workers+1 decodes no matter how long we wait.
+			<-bw.firstHit
+			time.Sleep(200 * time.Millisecond)
+			if n := started.Load(); n > int32(workers)+1 {
+				t.Errorf("decoder ran %d shards ahead of a wedged writer, window is %d", n, workers+1)
+			}
+			close(bw.release)
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if n := started.Load(); n != int32(c.NumShards()) {
+				t.Fatalf("decoded %d shards, want %d", n, c.NumShards())
+			}
+			if !bytes.Equal(out.Bytes(), want.Bytes()) {
+				t.Fatal("streamed bytes differ from Decompress after unwedging")
+			}
+		})
 	}
 }
 
