@@ -90,6 +90,12 @@ func BenchmarkInstorage(b *testing.B) { runExperiment(b, "instorage") }
 // baseline across predicate selectivities (see internal/bench/query.go).
 func BenchmarkQuery(b *testing.B) { runExperiment(b, "query") }
 
+// BenchmarkReorder reports the similarity-reorder mode: clump-sorted
+// vs identity compressed size on a clustered dataset, with the
+// out-of-core external sort forced and byte-exact original-order
+// recovery verified (see internal/bench/reorder.go).
+func BenchmarkReorder(b *testing.B) { runExperiment(b, "reorder") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

@@ -42,6 +42,7 @@ import (
 	"sage/internal/fastq"
 	"sage/internal/genome"
 	"sage/internal/instorage"
+	"sage/internal/reorder"
 	"sage/internal/serve"
 	"sage/internal/shard"
 	"sage/internal/simulate"
@@ -148,7 +149,9 @@ commands:
   compress    [flags] input.fastq [input2.fastq ...]   (or -in reads.fastq)
               -out reads.sage (-ref ref.txt | -denovo) [-paired] [-no-quality]
               [-no-headers] [-shard-reads 4096] [-threads N]
+              [-reorder [-sort-mem MiB] [-tmpdir DIR]]
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
+              [-original-order [-sort-mem MiB] [-tmpdir DIR]]
   filter      -in reads.sage [-out match.fastq] [-ref ref.txt] [-threads N]
               [-min-avgphred F] [-max-ee F] [-min-len N] [-max-len N]
               [-min-gc F] [-max-gc F] [-kmer SEQ]
@@ -175,9 +178,25 @@ ingest streams and therefore needs -ref. Example:
 
   sage compress -paired -ref ref.txt -out run.sage lane1_R1.fq lane1_R2.fq lane2_R1.fq lane2_R2.fq
 
+compress inputs may be gzipped (detected by magic bytes, not file
+extension); plain and gzipped files can be mixed freely, including in
+-paired runs.
+
+compress -reorder clump-sorts the reads by similarity (minimizer
+MinHash) before sharding, so similar reads share shards and the
+per-shard codec compresses them harder (container format v5). The sort
+is out of core: at most -sort-mem MiB of reads are held in memory,
+with sorted runs spilled under -tmpdir and k-way merged. The container
+records the inverse permutation, so the reordering is fully reversible.
+Mate pairs move as one unit and reads never cross source-file
+boundaries.
+
 decompress streams sharded containers: shards are decoded on -threads
 workers but written in order, so peak memory is a few decoded shards,
-never the whole read set.
+never the whole read set. With -original-order a reordered (v5)
+container is sorted back to the exact input order using the stored
+permutation — also out of core, under the same -sort-mem/-tmpdir
+bounds; for identity-order containers the flag is a free no-op.
 
 serve hosts a registry of sharded containers, each opened lazily (only
 indexes are resident). -in repeats, and a directory -in serves every
@@ -259,26 +278,51 @@ func cmdSimulate(args []string) error {
 
 // writeContainer streams a container produced by write into out via a
 // temp file renamed in, so a failed run never clobbers an existing
-// output.
+// output. The publish is crash-safe: the temp file is fsynced, then
+// its parent directory (so the temp's directory entry is durable),
+// then renamed, then the directory again (so the rename is) — a power
+// cut leaves either the old container or the new one, never a torn
+// file. Every failure path removes the temp file.
 func writeContainer(out string, write func(w io.Writer) (*shard.Stats, error)) (*shard.Stats, error) {
-	of, err := os.Create(out + ".tmp")
+	tmp := out + ".tmp"
+	of, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	st, err := write(of)
 	if err == nil {
-		err = of.Close()
-	} else {
-		of.Close()
+		err = of.Sync()
+	}
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = syncDir(filepath.Dir(out))
+	}
+	if err == nil {
+		err = os.Rename(tmp, out)
 	}
 	if err != nil {
-		os.Remove(out + ".tmp")
+		os.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(out+".tmp", out); err != nil {
+	if err := syncDir(filepath.Dir(out)); err != nil {
 		return nil, err
 	}
 	return st, nil
+}
+
+// syncDir fsyncs a directory, making its entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func cmdCompress(args []string) error {
@@ -292,6 +336,9 @@ func cmdCompress(args []string) error {
 	noHdr := fs.Bool("no-headers", false, "discard read names")
 	shardReads := fs.Int("shard-reads", shard.DefaultShardReads, "reads per shard (0 = single-block container)")
 	threads := fs.Int("threads", 0, "compression workers (0 = all CPUs)")
+	doReorder := fs.Bool("reorder", false, "clump-sort reads by similarity before sharding (container format v5; decompress -original-order recovers input order)")
+	sortMem := fs.Int("sort-mem", 256, "reorder sort memory budget in MiB before spilling runs to disk")
+	tmpDir := fs.String("tmpdir", "", "directory for reorder spill files (default: the system temp dir)")
 	inputs, err := parseFlagsArgs(fs, args)
 	if err != nil {
 		return err
@@ -302,6 +349,16 @@ func cmdCompress(args []string) error {
 	if *shardReads < 0 {
 		return usagef("compress: -shard-reads must be >= 0 (0 = single block), got %d", *shardReads)
 	}
+	if *sortMem <= 0 {
+		return usagef("compress: -sort-mem must be > 0 MiB, got %d", *sortMem)
+	}
+	if *doReorder && *shardReads == 0 {
+		return usagef("compress: -reorder needs a sharded container; -shard-reads must be > 0")
+	}
+	if *doReorder && *denovo {
+		return usagef("compress: -reorder streams its input and needs -ref (-denovo holds the whole read set in memory)")
+	}
+	sortCfg := reorder.SortConfig{MemBudget: int64(*sortMem) << 20, TmpDir: *tmpDir}
 	// Inputs come positionally (possibly many) or via the classic -in
 	// (exactly one) — never both, and never silently dropped.
 	if *in != "" {
@@ -333,7 +390,7 @@ func cmdCompress(args []string) error {
 	// sharded container with file-aware shard boundaries and a source
 	// manifest (container format v3, see docs/FORMAT.md).
 	if *paired || len(inputs) > 1 {
-		return compressSources(inputs, *out, *refPath, *paired, *denovo, *shardReads, shardOpt)
+		return compressSources(inputs, *out, *refPath, *paired, *denovo, *shardReads, *doReorder, sortCfg, shardOpt)
 	}
 
 	// Sharded compression against a reference streams the input file:
@@ -352,14 +409,31 @@ func cmdCompress(args []string) error {
 			return err
 		}
 		defer f.Close()
+		// Inputs may be gzipped: the source stage sniffs the magic and
+		// decompresses transparently.
+		r, err := fastq.SniffReader(f)
+		if err != nil {
+			return err
+		}
+		var src fastq.BatchSource = fastq.NewBatchReader(r, opt.ShardReads)
+		if *doReorder {
+			stage, err := reorder.NewStage(src, reorder.Config{
+				Mode: reorder.ModeClump, BatchSize: opt.ShardReads, Sort: sortCfg,
+			})
+			if err != nil {
+				return err
+			}
+			defer stage.Close()
+			src = stage
+		}
 		st, err := writeContainer(*out, func(w io.Writer) (*shard.Stats, error) {
-			return shard.CompressStream(fastq.NewBatchReader(f, opt.ShardReads), w, opt)
+			return shard.CompressPipeline(src, w, opt)
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d bytes in %d shards (%d reads, %d B header+index)\n",
-			*out, st.CompressedBytes, st.Shards, st.Reads, st.HeaderBytes)
+		fmt.Printf("%s: %d bytes in %d shards (%d reads, %d B header+index)%s\n",
+			*out, st.CompressedBytes, st.Shards, st.Reads, st.HeaderBytes, reorderNote(st))
 		return nil
 	}
 
@@ -415,10 +489,11 @@ func cmdCompress(args []string) error {
 }
 
 // compressSources runs multi-file (optionally paired-end) ingest: it
-// opens every input, builds the file-aware batching reader, and streams
-// one manifest-bearing container.
+// opens every input (gzip is sniffed per file), builds the file-aware
+// batching reader, optionally interposes the similarity-reorder stage,
+// and streams one manifest-bearing container.
 func compressSources(inputs []string, out, refPath string, paired, denovo bool, shardReads int,
-	shardOpt func(genome.Seq) shard.Options) error {
+	doReorder bool, sortCfg reorder.SortConfig, shardOpt func(genome.Seq) shard.Options) error {
 	if shardReads <= 0 {
 		return usagef("compress: multi-file ingest writes a sharded container; -shard-reads must be > 0")
 	}
@@ -440,12 +515,19 @@ func compressSources(inputs []string, out, refPath string, paired, denovo bool, 
 			f.Close()
 		}
 	}()
+	readers := make([]io.Reader, 0, len(inputs))
 	for _, path := range inputs {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		files = append(files, f)
+		// Per-file gzip sniff: a run may mix plain and gzipped lanes.
+		r, err := fastq.SniffReader(f)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, r)
 	}
 	// Manifest names are base names: the container travels, local
 	// directory layouts don't. That makes duplicates ambiguous — the
@@ -461,26 +543,37 @@ func compressSources(inputs []string, out, refPath string, paired, denovo bool, 
 	}
 	var mr *fastq.MultiReader
 	if paired {
-		pairs := make([][2]fastq.NamedReader, 0, len(files)/2)
-		for i := 0; i+1 < len(files); i += 2 {
+		pairs := make([][2]fastq.NamedReader, 0, len(readers)/2)
+		for i := 0; i+1 < len(readers); i += 2 {
 			pairs = append(pairs, [2]fastq.NamedReader{
-				{Name: filepath.Base(inputs[i]), R: files[i]},
-				{Name: filepath.Base(inputs[i+1]), R: files[i+1]},
+				{Name: filepath.Base(inputs[i]), R: readers[i]},
+				{Name: filepath.Base(inputs[i+1]), R: readers[i+1]},
 			})
 		}
 		mr, err = fastq.NewPairedReader(pairs, opt.ShardReads)
 	} else {
-		named := make([]fastq.NamedReader, 0, len(files))
-		for i, f := range files {
-			named = append(named, fastq.NamedReader{Name: filepath.Base(inputs[i]), R: f})
+		named := make([]fastq.NamedReader, 0, len(readers))
+		for i, r := range readers {
+			named = append(named, fastq.NamedReader{Name: filepath.Base(inputs[i]), R: r})
 		}
 		mr, err = fastq.NewMultiReader(named, opt.ShardReads)
 	}
 	if err != nil {
 		return err
 	}
+	var src fastq.BatchSource = mr
+	if doReorder {
+		stage, err := reorder.NewStage(mr, reorder.Config{
+			Mode: reorder.ModeClump, BatchSize: mr.BatchSize(), Paired: paired, Sort: sortCfg,
+		})
+		if err != nil {
+			return err
+		}
+		defer stage.Close()
+		src = stage
+	}
 	st, err := writeContainer(out, func(w io.Writer) (*shard.Stats, error) {
-		return shard.CompressSources(mr, w, opt)
+		return shard.CompressPipeline(src, w, opt)
 	})
 	if err != nil {
 		return err
@@ -489,13 +582,21 @@ func compressSources(inputs []string, out, refPath string, paired, denovo bool, 
 	if paired {
 		mode = "paired-end mate files"
 	}
-	fmt.Printf("%s: %d bytes in %d shards (%d reads from %d %s, %d B header+index)\n",
-		out, st.CompressedBytes, st.Shards, st.Reads, len(inputs), mode, st.HeaderBytes)
+	fmt.Printf("%s: %d bytes in %d shards (%d reads from %d %s, %d B header+index)%s\n",
+		out, st.CompressedBytes, st.Shards, st.Reads, len(inputs), mode, st.HeaderBytes, reorderNote(st))
 	srcs, perSrc := mr.Sources(), mr.SourceReads()
 	for i, s := range srcs {
 		fmt.Printf("  %s: %d reads\n", s.Display(), perSrc[i])
 	}
 	return nil
+}
+
+// reorderNote renders the reorder suffix of a compress report line.
+func reorderNote(st *shard.Stats) string {
+	if st.ReorderMode == shard.ReorderNone {
+		return ""
+	}
+	return "; clump-reordered (v5, original order recoverable)"
 }
 
 func cmdDecompress(args []string) error {
@@ -504,6 +605,9 @@ func cmdDecompress(args []string) error {
 	out := fs.String("out", "", "output FASTQ (default: stdout)")
 	refPath := fs.String("ref", "", "consensus file (only if not embedded)")
 	threads := fs.Int("threads", 0, "decompression workers for sharded containers (0 = all CPUs)")
+	origOrder := fs.Bool("original-order", false, "emit reads in the exact original input order (reordered v5 containers sort back out of core)")
+	sortMem := fs.Int("sort-mem", 256, "original-order sort memory budget in MiB before spilling runs to disk")
+	tmpDir := fs.String("tmpdir", "", "directory for original-order spill files (default: the system temp dir)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -512,6 +616,9 @@ func cmdDecompress(args []string) error {
 	}
 	if *in == "" {
 		return usagef("decompress: -in is required")
+	}
+	if *sortMem <= 0 {
+		return usagef("decompress: -sort-mem must be > 0 MiB, got %d", *sortMem)
 	}
 	inF, err := os.Open(*in)
 	if err != nil {
@@ -546,14 +653,24 @@ func cmdDecompress(args []string) error {
 		if fi, err = inF.Stat(); err == nil {
 			var c *shard.Container
 			if c, err = shard.Open(inF, fi.Size()); err == nil {
-				err = c.DecompressTo(w, cons, *threads)
+				if *origOrder {
+					// Identity-order containers fall straight through to
+					// DecompressTo inside; reordered (v5) containers sort
+					// back under the -sort-mem budget, spilling to
+					// -tmpdir.
+					err = c.DecompressOriginalTo(w, cons, *threads,
+						reorder.SortConfig{MemBudget: int64(*sortMem) << 20, TmpDir: *tmpDir})
+				} else {
+					err = c.DecompressTo(w, cons, *threads)
+				}
 			}
 		}
 	} else {
 		// Single-block containers are one codec block: the decoder
-		// needs it whole either way. Reuse the open handle (the magic
-		// probe consumed its first 4 bytes) rather than reading the
-		// file a second time.
+		// needs it whole either way (and already decodes in input
+		// order, so -original-order is naturally satisfied). Reuse the
+		// open handle (the magic probe consumed its first 4 bytes)
+		// rather than reading the file a second time.
 		var data []byte
 		if data, err = io.ReadAll(io.MultiReader(bytes.NewReader(magic[:]), inF)); err == nil {
 			var rs *fastq.ReadSet
@@ -970,7 +1087,13 @@ func readFASTQ(path string) (*fastq.ReadSet, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return fastq.Parse(f)
+	// Gzipped FASTQ is sniffed by magic, not extension, like every
+	// other compress input path.
+	r, err := fastq.SniffReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return fastq.Parse(r)
 }
 
 // readRef loads a reference: plain base text or single-record FASTA.

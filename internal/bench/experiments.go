@@ -684,6 +684,7 @@ func (s *Suite) experimentList() []struct {
 		{"ingest", s.IngestExperiment},
 		{"instorage", s.InstorageExperiment},
 		{"query", s.QueryExperiment},
+		{"reorder", s.ReorderExperiment},
 	}
 }
 

@@ -109,6 +109,12 @@ type Stats struct {
 type Encoded struct {
 	Data  []byte
 	Stats Stats
+	// Order is the storage permutation the codec applied (§5.1.3):
+	// the record decoded at position i was rs.Records[Order[i]].
+	// Compress-time metadata only — the wire format does not carry it.
+	// The sharded writer composes it with an ingest-stage permutation
+	// to build format v5's exact original-order recovery.
+	Order []int
 }
 
 // readPlan is the per-read encoding plan computed in pass 1.
@@ -319,7 +325,11 @@ func Compress(rs *fastq.ReadSet, opt Options) (*Encoded, error) {
 	}
 	st.CompressedBytes = len(data)
 	st.DNABytes = len(data) - st.QualityBytes - st.HeaderBytes
-	return &Encoded{Data: data, Stats: st}, nil
+	order := make([]int, len(plans))
+	for i := range plans {
+		order[i] = plans[i].idx
+	}
+	return &Encoded{Data: data, Stats: st, Order: order}, nil
 }
 
 // planReads maps reads in parallel and validates each alignment by

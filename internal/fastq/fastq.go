@@ -134,6 +134,22 @@ func (rs *ReadSet) QualSize() int {
 	return n
 }
 
+// AppendText appends the record's four FASTQ lines to buf and returns
+// the extended slice. Callers that stream record by record (the
+// original-order restore path) reuse one buffer across calls, the same
+// O(1)-allocation discipline as ReadSet.Write.
+func (r *Record) AppendText(buf []byte) []byte {
+	buf = append(buf, '@')
+	buf = append(buf, r.Header...)
+	buf = append(buf, '\n')
+	buf = genome.AppendASCII(buf, r.Seq)
+	buf = append(buf, '\n', '+', '\n')
+	for _, p := range r.Qual {
+		buf = append(buf, p+QualityOffset)
+	}
+	return append(buf, '\n')
+}
+
 // Write serializes the read set as FASTQ text. One line buffer is
 // reused across records, so serialization allocates O(1) regardless of
 // read count.
@@ -145,15 +161,7 @@ func (rs *ReadSet) Write(w io.Writer) error {
 		if err := r.Validate(); err != nil {
 			return err
 		}
-		line = append(line[:0], '@')
-		line = append(line, r.Header...)
-		line = append(line, '\n')
-		line = genome.AppendASCII(line, r.Seq)
-		line = append(line, '\n', '+', '\n')
-		for _, p := range r.Qual {
-			line = append(line, p+QualityOffset)
-		}
-		line = append(line, '\n')
+		line = r.AppendText(line[:0])
 		if _, err := bw.Write(line); err != nil {
 			return err
 		}

@@ -1,0 +1,63 @@
+package fastq
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// The ingest side of compression is a staged pipeline: a BatchSource
+// produces batches, optional stages (internal/reorder) transform the
+// stream, and the sharder consumes it. Today's streaming writers are
+// the identity pipeline — a BatchReader or MultiReader feeding the
+// sharder directly — so the refactor costs nothing on the wire:
+// identical sources produce identical containers.
+
+// BatchSource is one stage of the ingest pipeline: anything that yields
+// record batches in a defined order, ending with io.EOF. BatchReader
+// and MultiReader are the leaf sources; pipeline stages wrap another
+// BatchSource. Implementations may additionally expose
+//
+//	Sources() []Source
+//
+// (file attribution for the container's source manifest, see
+// MultiReader.Sources); downstream consumers discover the capability by
+// type assertion, so a plain stream stays manifest-less.
+type BatchSource interface {
+	// Next returns the next batch, or io.EOF after the last one.
+	Next() (Batch, error)
+}
+
+var (
+	_ BatchSource = (*BatchReader)(nil)
+	_ BatchSource = (*MultiReader)(nil)
+)
+
+// gzipMagic is the two-byte gzip member header (RFC 1952).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// SniffReader adapts an input stream for FASTQ scanning, transparently
+// decompressing gzip: the first two bytes are sniffed (never consumed
+// from the caller's view) and a stream starting with the gzip magic is
+// wrapped in a stdlib gzip reader — multi-member files, as produced by
+// bgzip and lane concatenation, decode across member boundaries.
+// Anything else (including an empty stream) passes through buffered but
+// otherwise untouched, so plain-text FASTQ pays only a bufio layer it
+// would get from the scanner anyway.
+func SniffReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		// A stream shorter than the magic cannot be gzip; the scanner
+		// will report truncation (or clean EOF) on its own terms.
+		return br, nil
+	}
+	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+		return br, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	return zr, nil
+}

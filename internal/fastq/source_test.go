@@ -1,0 +1,117 @@
+package fastq
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+const sniffFASTQ = "@r1\nACGT\n+\nIIII\n@r2\nTTGG\n+\nFFFF\n"
+
+func gzipBytes(t *testing.T, chunks ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, c := range chunks {
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write([]byte(c)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestSniffReaderPlain(t *testing.T) {
+	r, err := SniffReader(strings.NewReader(sniffFASTQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != sniffFASTQ {
+		t.Fatalf("plain stream altered:\n%q", got)
+	}
+}
+
+func TestSniffReaderGzip(t *testing.T) {
+	r, err := SniffReader(bytes.NewReader(gzipBytes(t, sniffFASTQ)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != sniffFASTQ {
+		t.Fatalf("gzip stream decoded wrong:\n%q", got)
+	}
+}
+
+// Multi-member gzip (bgzip, concatenated lanes) must decode across
+// member boundaries, not stop at the first one.
+func TestSniffReaderMultiMemberGzip(t *testing.T) {
+	half := len(sniffFASTQ) / 2
+	data := gzipBytes(t, sniffFASTQ[:half], sniffFASTQ[half:])
+	r, err := SniffReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != sniffFASTQ {
+		t.Fatalf("multi-member gzip decoded wrong:\n%q", got)
+	}
+}
+
+// Streams too short to hold the magic (empty or one byte) pass through;
+// the FASTQ scanner decides what they mean.
+func TestSniffReaderShort(t *testing.T) {
+	for _, in := range []string{"", "@", "\x1f"} {
+		r, err := SniffReader(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != in {
+			t.Fatalf("%q passed through as %q", in, got)
+		}
+	}
+}
+
+// A corrupt stream that starts with the magic but is not gzip fails at
+// sniff time with the gzip error, not downstream with a parse error.
+func TestSniffReaderBadGzip(t *testing.T) {
+	if _, err := SniffReader(strings.NewReader("\x1f\x8bnot really gzip")); err == nil {
+		t.Fatal("bad gzip header accepted")
+	}
+}
+
+// Gzipped input scans to the same records as its plain-text form.
+func TestSniffReaderScansRecords(t *testing.T) {
+	r, err := SniffReader(bytes.NewReader(gzipBytes(t, sniffFASTQ)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewBatchReader(r, 16)
+	b, err := br.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 2 || b.Records[0].Header != "r1" || b.Records[1].Header != "r2" {
+		t.Fatalf("scanned records: %+v", b.Records)
+	}
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

@@ -22,6 +22,17 @@ import (
 type Scanner struct {
 	sc   *bufio.Scanner
 	line int
+	// hbuf and sbuf stabilize the header and sequence lines of the
+	// record being scanned: bufio.Scanner.Bytes views are invalidated by
+	// the NEXT Scan call, and a record needs three more Scans after its
+	// header line (the buffer shifts whenever a record straddles the
+	// scanner's buffered window, silently rewriting any held view — a
+	// corruption that only surfaces past the first ~1 MiB of a stream).
+	// The quality line needs no copy: it is the record's last Scan.
+	// Both buffers are reused across records, so the scan loop stays
+	// allocation-free once they reach steady state.
+	hbuf []byte
+	sbuf []byte
 }
 
 // rawRecord is a fully validated record whose fields alias the scanner's
@@ -67,7 +78,8 @@ func (s *Scanner) nextRaw(rr *rawRecord) error {
 	if h[0] != '@' {
 		return fmt.Errorf("fastq: line %d: expected '@', got %q", s.line, h)
 	}
-	rr.header = h[1:]
+	s.hbuf = append(s.hbuf[:0], h[1:]...)
+	rr.header = s.hbuf
 	if !s.sc.Scan() {
 		return fmt.Errorf("fastq: line %d: truncated record (no sequence)", s.line)
 	}
@@ -78,7 +90,8 @@ func (s *Scanner) nextRaw(rr *rawRecord) error {
 			return fmt.Errorf("fastq: line %d: genome: invalid base %q at %d", s.line, seq[i], i)
 		}
 	}
-	rr.seq = seq
+	s.sbuf = append(s.sbuf[:0], seq...)
+	rr.seq = s.sbuf
 	if !s.sc.Scan() {
 		return fmt.Errorf("fastq: line %d: truncated record (no separator)", s.line)
 	}

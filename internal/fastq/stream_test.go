@@ -1,6 +1,8 @@
 package fastq
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -112,4 +114,72 @@ func TestBatchReaderMatchesBatches(t *testing.T) {
 	if _, err := br.Next(); err != io.EOF {
 		t.Fatal("BatchReader yielded more batches than ReadSet.Batches")
 	}
+}
+
+// TestScannerBufferBoundaryStability: bufio.Scanner.Bytes views are
+// invalidated by the next Scan call, and a FASTQ record needs three
+// more Scans after its header line. When a record straddles the
+// scanner's buffered window (~every 1 MiB of input), the buffer shifts
+// and a held view is silently rewritten — historically this corrupted
+// one header per megabyte on large streams. The scanner must therefore
+// stabilize the header and sequence lines before scanning on; this test
+// pushes several buffer windows of records through both faces of the
+// scanner and checks every field.
+func TestScannerBufferBoundaryStability(t *testing.T) {
+	var in bytes.Buffer
+	seq := strings.Repeat("ACGTACGTAC", 20) // 200 bases
+	qual := strings.Repeat("IIIIIJJJJJ", 20)
+	n := 0
+	for in.Len() < 3<<20 {
+		fmt.Fprintf(&in, "@read.%07d\n%s\n+\n%s\n", n, seq, qual)
+		n++
+	}
+	input := in.Bytes()
+
+	check := func(t *testing.T, i int, r *Record) {
+		t.Helper()
+		if want := fmt.Sprintf("read.%07d", i); r.Header != want {
+			t.Fatalf("record %d: header %q, want %q", i, r.Header, want)
+		}
+		if got := r.Seq.String(); got != seq {
+			t.Fatalf("record %d: sequence corrupted", i)
+		}
+		if len(r.Qual) != len(seq) || r.Qual[0] != 'I'-QualityOffset {
+			t.Fatalf("record %d: quality corrupted", i)
+		}
+	}
+
+	t.Run("Scanner", func(t *testing.T) {
+		sc := NewScanner(bytes.NewReader(input))
+		for i := 0; i < n; i++ {
+			rec, err := sc.Next()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			check(t, i, &rec)
+		}
+		if _, err := sc.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF after %d records, got %v", n, err)
+		}
+	})
+	t.Run("BatchReader", func(t *testing.T) {
+		br := NewBatchReader(bytes.NewReader(input), 64)
+		i := 0
+		for {
+			b, err := br.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range b.Records {
+				check(t, i, &b.Records[j])
+				i++
+			}
+		}
+		if i != n {
+			t.Fatalf("batched scan yielded %d records, want %d", i, n)
+		}
+	})
 }

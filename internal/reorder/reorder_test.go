@@ -1,0 +1,466 @@
+package reorder
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sage/internal/fastq"
+	"sage/internal/genome"
+)
+
+// sliceSource replays pre-built batches — the minimal upstream for
+// stage tests.
+type sliceSource struct {
+	batches []fastq.Batch
+	i       int
+}
+
+func (s *sliceSource) Next() (fastq.Batch, error) {
+	if s.i >= len(s.batches) {
+		return fastq.Batch{}, io.EOF
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, nil
+}
+
+func rec(name, seq string) fastq.Record {
+	s := genome.MustFromString(seq)
+	q := make([]byte, len(s))
+	for i := range q {
+		q[i] = 30
+	}
+	return fastq.Record{Header: name, Seq: s, Qual: q}
+}
+
+// batchUp splits records into batches of size, all attributed to src.
+func batchUp(recs []fastq.Record, size, src int) []fastq.Batch {
+	var out []fastq.Batch
+	for i := 0; i < len(recs); i += size {
+		end := i + size
+		if end > len(recs) {
+			end = len(recs)
+		}
+		out = append(out, fastq.Batch{Index: len(out), Source: src, Records: recs[i:end]})
+	}
+	return out
+}
+
+// drain runs the stage to EOF and returns the emitted records.
+func drain(t *testing.T, st *Stage) []fastq.Record {
+	t.Helper()
+	var out []fastq.Record
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b.Records...)
+	}
+}
+
+// checkPerm asserts perm is a valid permutation of [0, n) and that
+// out[i] is the original record perm[i].
+func checkPerm(t *testing.T, perm []int64, orig, out []fastq.Record) {
+	t.Helper()
+	if len(perm) != len(orig) || len(out) != len(orig) {
+		t.Fatalf("sizes: perm=%d out=%d orig=%d", len(perm), len(out), len(orig))
+	}
+	seen := make([]bool, len(orig))
+	for i, p := range perm {
+		if p < 0 || p >= int64(len(orig)) || seen[p] {
+			t.Fatalf("perm[%d]=%d invalid or duplicate", i, p)
+		}
+		seen[p] = true
+		if out[i].Header != orig[p].Header {
+			t.Fatalf("out[%d]=%q but perm says original %d=%q", i, out[i].Header, p, orig[p].Header)
+		}
+	}
+}
+
+func TestClumpKeyProperties(t *testing.T) {
+	const k = DefaultK
+	seq := genome.MustFromString("ACGTTGCAGGTCAATCGGA")
+	if clumpKey(seq, k) != clumpKey(seq, k) {
+		t.Fatal("clumpKey not deterministic")
+	}
+	// Canonical: a read and its reverse complement share the minimizer.
+	rc := make(genome.Seq, len(seq))
+	for i, b := range seq {
+		rc[len(seq)-1-i] = 3 - b
+	}
+	if clumpKey(seq, k) != clumpKey(rc, k) {
+		t.Fatal("clumpKey not strand-canonical")
+	}
+	// Too short, or N-broken below a full window: sentinel key.
+	if clumpKey(genome.MustFromString("ACGT"), k) != ^uint64(0) {
+		t.Fatal("short read should key to MaxUint64")
+	}
+	withN := genome.MustFromString("ACGTTNGCAGG") // longest clean run < k
+	if clumpKey(withN, k) != ^uint64(0) {
+		t.Fatal("N-broken read without a full window should key to MaxUint64")
+	}
+}
+
+// Two interleaved clusters of identical sequences must come out fully
+// separated, with input order preserved inside each cluster (the sort
+// tie-breaks on original index).
+func TestStageClusters(t *testing.T) {
+	seqA := "ACGTTGCAGGTCAATCGGATTTACGCAT"
+	seqB := "GGGGACCACTAGATTACAAGGGTGGGTC"
+	var orig []fastq.Record
+	for i := 0; i < 6; i++ {
+		orig = append(orig, rec(fmt.Sprintf("a%d", i), seqA), rec(fmt.Sprintf("b%d", i), seqB))
+	}
+	st, err := NewStage(&sliceSource{batches: batchUp(orig, 5, 0)},
+		Config{Mode: ModeClump, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	out := drain(t, st)
+	checkPerm(t, st.Perm(), orig, out)
+	// All of one cluster, then all of the other, each in input order.
+	var names []string
+	for _, r := range out {
+		names = append(names, r.Header)
+	}
+	got := strings.Join(names, " ")
+	wantA := "a0 a1 a2 a3 a4 a5"
+	wantB := "b0 b1 b2 b3 b4 b5"
+	if got != wantA+" "+wantB && got != wantB+" "+wantA {
+		t.Fatalf("clusters not separated: %s", got)
+	}
+	if st.SpilledRuns() != 0 {
+		t.Fatalf("tiny input spilled %d runs", st.SpilledRuns())
+	}
+}
+
+// Paired mode: mates move as one unit, staying adjacent with R1 first,
+// and their perm entries are consecutive.
+func TestStagePaired(t *testing.T) {
+	seqA := "ACGTTGCAGGTCAATCGGATTTACGCAT"
+	seqB := "GGGGACCACTAGATTACAAGGGTGGGTC"
+	var orig []fastq.Record
+	for i := 0; i < 4; i++ {
+		s := seqA
+		if i%2 == 1 {
+			s = seqB
+		}
+		orig = append(orig,
+			rec(fmt.Sprintf("p%d/1", i), s),
+			rec(fmt.Sprintf("p%d/2", i), "NNNNNNNNNNNN")) // R2 all-N: key comes from R1
+	}
+	st, err := NewStage(&sliceSource{batches: batchUp(orig, 4, 0)},
+		Config{Mode: ModeClump, BatchSize: 5, Paired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.BatchSize() != 4 {
+		t.Fatalf("paired batch size not rounded even: %d", st.BatchSize())
+	}
+	out := drain(t, st)
+	checkPerm(t, st.Perm(), orig, out)
+	perm := st.Perm()
+	for i := 0; i < len(out); i += 2 {
+		r1, r2 := out[i].Header, out[i+1].Header
+		if !strings.HasSuffix(r1, "/1") || r2 != strings.TrimSuffix(r1, "/1")+"/2" {
+			t.Fatalf("pair split at %d: %q %q", i, r1, r2)
+		}
+		if perm[i+1] != perm[i]+1 || perm[i]%2 != 0 {
+			t.Fatalf("pair perm not consecutive at %d: %d %d", i, perm[i], perm[i+1])
+		}
+	}
+}
+
+func TestStagePairedOddBatch(t *testing.T) {
+	orig := []fastq.Record{rec("x", "ACGTTGCAGGTCAATCGGATTTACGCAT")}
+	st, err := NewStage(&sliceSource{batches: batchUp(orig, 4, 0)},
+		Config{Mode: ModeClump, Paired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err == nil {
+		t.Fatal("odd paired batch accepted")
+	}
+}
+
+// Records never cross source boundaries: each source sorts on its own,
+// and emitted batches carry the right Source index in upstream order.
+func TestStagePerSource(t *testing.T) {
+	seqA := "ACGTTGCAGGTCAATCGGATTTACGCAT"
+	seqB := "GGGGACCACTAGATTACAAGGGTGGGTC"
+	var orig []fastq.Record
+	var batches []fastq.Batch
+	for src := 0; src < 3; src++ {
+		var recs []fastq.Record
+		for i := 0; i < 4; i++ {
+			s := seqA
+			if i%2 == 0 {
+				s = seqB
+			}
+			recs = append(recs, rec(fmt.Sprintf("s%dr%d", src, i), s))
+		}
+		orig = append(orig, recs...)
+		for _, b := range batchUp(recs, 3, src) {
+			b.Index = len(batches)
+			batches = append(batches, b)
+		}
+	}
+	st, err := NewStage(&sliceSource{batches: batches}, Config{Mode: ModeClump, BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var out []fastq.Record
+	lastSrc := 0
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Source < lastSrc {
+			t.Fatalf("source went backwards: %d after %d", b.Source, lastSrc)
+		}
+		lastSrc = b.Source
+		for _, r := range b.Records {
+			if want := fmt.Sprintf("s%d", b.Source); !strings.HasPrefix(r.Header, want) {
+				t.Fatalf("record %q emitted under source %d", r.Header, b.Source)
+			}
+		}
+		out = append(out, b.Records...)
+	}
+	checkPerm(t, st.Perm(), orig, out)
+}
+
+// randomRecords builds a reproducible random dataset; ~1/8 bases are N
+// and some reads drop quality entirely.
+func randomRecords(rng *rand.Rand, n int) []fastq.Record {
+	const bases = "ACGTN"
+	out := make([]fastq.Record, n)
+	for i := range out {
+		ln := 20 + rng.Intn(60)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			c := bases[rng.Intn(4)]
+			if rng.Intn(8) == 0 {
+				c = 'N'
+			}
+			sb.WriteByte(c)
+		}
+		out[i] = rec(fmt.Sprintf("r%04d", i), sb.String())
+		if rng.Intn(5) == 0 {
+			out[i].Qual = nil
+		}
+	}
+	return out
+}
+
+// A memory budget far below the dataset forces spilled runs; the result
+// must match the all-in-memory sort exactly, and the temp dir must be
+// empty after Close.
+func TestStageSpillsMatchInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := randomRecords(rng, 400)
+
+	inMem, err := NewStage(&sliceSource{batches: batchUp(orig, 64, 0)},
+		Config{Mode: ModeClump, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inMem.Close()
+	want := drain(t, inMem)
+	if inMem.SpilledRuns() != 0 {
+		t.Fatalf("in-memory run spilled %d", inMem.SpilledRuns())
+	}
+
+	tmp := t.TempDir()
+	spill, err := NewStage(&sliceSource{batches: batchUp(orig, 64, 0)},
+		Config{Mode: ModeClump, BatchSize: 64,
+			Sort: SortConfig{MemBudget: 4 << 10, TmpDir: tmp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spill.Close()
+	got := drain(t, spill)
+	if spill.SpilledRuns() == 0 {
+		t.Fatal("4 KiB budget over ~400 reads did not spill")
+	}
+	checkPerm(t, spill.Perm(), orig, got)
+	if len(got) != len(want) {
+		t.Fatalf("spilled sort emitted %d records, in-memory %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Header != want[i].Header {
+			t.Fatalf("order diverges at %d: spilled %q, in-memory %q", i, got[i].Header, want[i].Header)
+		}
+	}
+	if err := spill.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoRunFiles(t, tmp)
+}
+
+// A failing spill write must not leave orphaned run files behind — not
+// the partial run, and not earlier healthy runs after Close.
+func TestSpillFailureNoOrphans(t *testing.T) {
+	fail := 0
+	testSpillWriter = func(w io.Writer) io.Writer {
+		fail++
+		if fail >= 3 {
+			return failWriter{}
+		}
+		return w
+	}
+	defer func() { testSpillWriter = nil }()
+
+	rng := rand.New(rand.NewSource(11))
+	orig := randomRecords(rng, 400)
+	tmp := t.TempDir()
+	st, err := NewStage(&sliceSource{batches: batchUp(orig, 64, 0)},
+		Config{Mode: ModeClump, BatchSize: 64,
+			Sort: SortConfig{MemBudget: 4 << 10, TmpDir: tmp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sawErr := false
+	for {
+		_, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected write failure did not surface")
+	}
+	assertNoRunFiles(t, tmp)
+	// Close after the failure stays safe and idempotent.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("injected disk failure")
+}
+
+func assertNoRunFiles(t *testing.T, dir string) {
+	t.Helper()
+	runs, err := filepath.Glob(filepath.Join(dir, "sage-sort-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("orphaned run files: %v", runs)
+	}
+}
+
+// Restorer inverts an arbitrary permutation, in memory and spilled.
+func TestRestorerRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := randomRecords(rng, 300)
+	permuted := rng.Perm(len(orig))
+	for _, budget := range []int64{0, 2 << 10} {
+		r := NewRestorer(SortConfig{MemBudget: budget, TmpDir: t.TempDir()})
+		for _, p := range permuted {
+			if err := r.Add(int64(p), orig[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		err := r.Emit(func(rec *fastq.Record) error {
+			if rec.Header != orig[i].Header {
+				return fmt.Errorf("position %d: got %q want %q", i, rec.Header, orig[i].Header)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != len(orig) {
+			t.Fatalf("emitted %d of %d records", i, len(orig))
+		}
+		if budget > 0 && r.SpilledRuns() == 0 {
+			t.Fatal("2 KiB budget did not spill")
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The run-file codec must round-trip nil vs empty quality distinctly.
+func TestRunCodecNilQual(t *testing.T) {
+	withNil := rec("n", "ACGTACGTACGTACGTACGT")
+	withNil.Qual = nil
+	empty := fastq.Record{Header: "e", Seq: genome.Seq{}, Qual: []byte{}}
+	tmp := t.TempDir()
+	s := newExtSorter(SortConfig{MemBudget: 1, TmpDir: tmp})
+	if err := s.add(group{key: 1, seq: 0, recs: []fastq.Record{withNil}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.add(group{key: 2, seq: 1, recs: []fastq.Record{empty}}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	g1, ok, err := it.next()
+	if err != nil || !ok {
+		t.Fatalf("first group: ok=%v err=%v", ok, err)
+	}
+	if g1.recs[0].Qual != nil {
+		t.Fatal("nil quality came back non-nil")
+	}
+	g2, ok, err := it.next()
+	if err != nil || !ok {
+		t.Fatalf("second group: ok=%v err=%v", ok, err)
+	}
+	if g2.recs[0].Qual == nil || len(g2.recs[0].Qual) != 0 {
+		t.Fatalf("empty quality came back %v", g2.recs[0].Qual)
+	}
+}
+
+func TestNewStageRejects(t *testing.T) {
+	src := &sliceSource{}
+	if _, err := NewStage(src, Config{Mode: ModeNone}); err == nil {
+		t.Fatal("ModeNone accepted")
+	}
+	if _, err := NewStage(src, Config{Mode: ModeClump, K: 32}); err == nil {
+		t.Fatal("k=32 accepted")
+	}
+}
+
+// TestMain leaves no stray temp files in the default temp dir either.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	runs, _ := filepath.Glob(filepath.Join(os.TempDir(), "sage-sort-*.run"))
+	if len(runs) != 0 {
+		fmt.Fprintf(os.Stderr, "orphaned run files in %s: %v\n", os.TempDir(), runs)
+		code = 1
+	}
+	os.Exit(code)
+}

@@ -45,6 +45,17 @@ func (s *Server) readsETag(e *Named, ent shard.Entry) string {
 	return fmt.Sprintf("%q", fmt.Sprintf("%08x-fq", ent.Checksum))
 }
 
+// readsOriginalETag tags the original-order representation of a
+// reordered shard's decoded FASTQ (?order=original): a third
+// representation of the resource, so a third distinct suffix, with the
+// same fallback-consensus fingerprint rules as readsETag.
+func (s *Server) readsOriginalETag(e *Named, ent shard.Entry) string {
+	if e.C.Consensus == nil && s.consTag != 0 {
+		return fmt.Sprintf("%q", fmt.Sprintf("%08x-fqoo-%08x", ent.Checksum, s.consTag))
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%08x-fqoo", ent.Checksum))
+}
+
 // etagMatch evaluates an If-None-Match header value against the current
 // entity tag: a "*" or any listed tag matching (weak-compare — a W/
 // prefix is ignored) means the client's copy is current. Entity-tags

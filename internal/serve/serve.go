@@ -12,6 +12,7 @@
 //	GET /c/{name}/shards                 container's shard index (+ manifest)
 //	GET /c/{name}/shard/{i}              shard i's raw compressed block
 //	GET /c/{name}/shard/{i}/reads        shard i decoded to FASTQ text
+//	    ?order=original                  … in original input order (v5)
 //	GET /c/{name}/files                  the source-file manifest
 //	GET /c/{name}/file/{file}/shards     the shards from one source file
 //	GET /c/{name}/query?min-len=…        predicate push-down over zone maps
@@ -69,6 +70,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -530,6 +532,23 @@ func (s *Server) handleReads(w http.ResponseWriter, r *http.Request, e *Named) {
 	if !ok {
 		return
 	}
+	switch order := r.URL.Query().Get("order"); order {
+	case "", "stored":
+	case "original":
+		// A reordered (v5) container re-sorts the shard's records back
+		// to input order — a distinct representation with a distinct
+		// ETag. Identity-order containers already serve input order, so
+		// they fall through to the shared (cached) path, same tag and
+		// all.
+		if e.C.Index.ReorderMode != shard.ReorderNone {
+			s.handleReadsOriginal(w, r, e, i)
+			return
+		}
+	default:
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown order %q (want \"original\" or \"stored\")", order))
+		return
+	}
 	ent := e.C.Index.Entries[i]
 	tag := s.readsETag(e, ent)
 	h := w.Header()
@@ -553,6 +572,80 @@ func (s *Server) handleReads(w http.ResponseWriter, r *http.Request, e *Named) {
 	if err := d.writeTo(w); err != nil {
 		s.n.writeFails.Add(1)
 	}
+}
+
+// handleReadsOriginal serves a reordered shard's records sorted back
+// to original input order. The shard's records occupy stored positions
+// [start, start+count), so their original indices are Perm[start+j];
+// an in-shard sort by that index recovers the input order without
+// touching any other shard. The decode still flows through the shared
+// cache (the cached FASTQ text is reparsed, same trade as /query), and
+// the representation carries its own ETag — RFC 9110 requires distinct
+// tags for distinct representations of one resource.
+func (s *Server) handleReadsOriginal(w http.ResponseWriter, r *http.Request, e *Named, i int) {
+	ent := e.C.Index.Entries[i]
+	tag := s.readsOriginalETag(e, ent)
+	h := w.Header()
+	h.Set("ETag", tag)
+	h.Set("X-Sage-Shard-Reads", strconv.Itoa(ent.ReadCount))
+	if etagMatch(r.Header.Get("If-None-Match"), tag) {
+		s.n.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	rs, err := s.shardRecords(r.Context(), e, i)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	start := 0
+	for _, ent := range e.C.Index.Entries[:i] {
+		start += ent.ReadCount
+	}
+	perm := e.C.Index.Perm
+	if start+len(rs.Records) > len(perm) {
+		s.fail(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: shard %d decodes past the container's %d-entry permutation", i, len(perm)))
+		return
+	}
+	order := make([]int, len(rs.Records))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return perm[start+order[a]] < perm[start+order[b]]
+	})
+	var buf bytes.Buffer
+	buf.Grow(rs.UncompressedSize())
+	var line []byte
+	for _, j := range order {
+		line = rs.Records[j].AppendText(line[:0])
+		buf.Write(line)
+	}
+	s.n.readReqs.Add(1)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	s.writeBody(w, buf.Bytes())
+}
+
+// shardRecords decodes shard i into records through the shared cache,
+// with the same no-quality fallback as the query path.
+func (s *Server) shardRecords(ctx context.Context, e *Named, i int) (*fastq.ReadSet, error) {
+	d, err := s.decodedShard(ctx, e, i)
+	if err != nil {
+		return nil, err
+	}
+	defer d.done()
+	if d.rs != nil {
+		return d.rs, nil
+	}
+	rs, err := fastq.Parse(bytes.NewReader(d.data))
+	if err != nil {
+		// Quality-less containers decode to text the strict scanner
+		// rejects; re-decode to records directly (see shardMatches).
+		return e.C.DecompressShard(i, s.cons)
+	}
+	return rs, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

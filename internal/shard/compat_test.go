@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"sage/internal/fastq"
+	"sage/internal/reorder"
 )
 
 // The golden containers under testdata/ pin every historical wire
@@ -14,9 +17,11 @@ import (
 // the pre-v3 writer; golden_v2.sage is the same container with the
 // version byte set to 2 (and the header CRC fixed up) — versions 1
 // and 2 share the manifest-less wire layout. golden_v3.sage was
-// written by the v3 writer (source-manifest era, no zone maps) and
-// golden_v4.sage by the v4 writer (zone maps + k-mer sketch); all
-// four must keep decoding byte-for-byte alongside the current writer.
+// written by the v3 writer (source-manifest era, no zone maps),
+// golden_v4.sage by the v4 writer (zone maps + k-mer sketch), and
+// golden_v5.sage by the v5 writer (clump-reordered, with the inverse
+// permutation in the header); all must keep decoding byte-for-byte
+// alongside the current writer.
 
 func readTestdata(t *testing.T, name string) []byte {
 	t.Helper()
@@ -146,6 +151,77 @@ func TestLegacyGoldenImmutable(t *testing.T) {
 	if len(v3) != 542 || len(v4) != 795 {
 		t.Fatalf("golden v3/v4 sizes changed: %d, %d (want 542, 795) — regenerated in a new format?",
 			len(v3), len(v4))
+	}
+	v5 := readTestdata(t, "golden_v5.sage")
+	if v5[4] != 5 {
+		t.Fatalf("golden v5 version byte changed: %d", v5[4])
+	}
+	if len(v5) != 813 {
+		t.Fatalf("golden v5 size changed: %d (want 813) — regenerated in a new format?", len(v5))
+	}
+}
+
+// TestGoldenV5Decodes pins the reordered golden: golden_v5.sage holds
+// the same 12 reads as golden_v1.fastq, clump-sorted at compress time.
+// A plain decode yields the stored (permuted) order; the original-order
+// path must reproduce golden_v1.fastq byte-for-byte.
+func TestGoldenV5Decodes(t *testing.T) {
+	wantFASTQ := readTestdata(t, "golden_v1.fastq")
+	data := readTestdata(t, "golden_v5.sage")
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 5 || c.Index.ReorderMode != ReorderClump {
+		t.Fatalf("version %d reorder %d, want 5/clump", c.Version, c.Index.ReorderMode)
+	}
+	if len(c.Index.Perm) != c.Index.TotalReads || c.Index.TotalReads != 12 {
+		t.Fatalf("perm holds %d entries for %d reads", len(c.Index.Perm), c.Index.TotalReads)
+	}
+
+	// Stored order: a valid decode that is NOT the input order.
+	var stored bytes.Buffer
+	if err := c.DecompressTo(&stored, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(stored.Bytes(), wantFASTQ) {
+		t.Fatal("stored order equals input order — golden not actually reordered")
+	}
+
+	// Original order: byte-for-byte the source FASTQ.
+	var orig bytes.Buffer
+	if err := c.DecompressOriginalTo(&orig, nil, 2, reorder.SortConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), wantFASTQ) {
+		t.Fatalf("original-order decode diverged:\n got %d bytes\nwant %d bytes",
+			orig.Len(), len(wantFASTQ))
+	}
+
+	// The stored order is exactly the permutation the header claims.
+	permuted, err := Decompress(data, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSet, err := fastq.Parse(bytes.NewReader(wantFASTQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range c.Index.Perm {
+		if permuted.Records[i].Header != origSet.Records[p].Header {
+			t.Fatalf("stored record %d is %q, perm says original %d = %q",
+				i, permuted.Records[i].Header, p, origSet.Records[p].Header)
+		}
+	}
+
+	// Inspect names the reorder mode and the recovery path.
+	info, err := Inspect(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(info), []byte("container v5")) ||
+		!bytes.Contains([]byte(info), []byte("clump")) {
+		t.Fatalf("Inspect does not surface v5 reorder:\n%s", info)
 	}
 }
 

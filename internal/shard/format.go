@@ -22,11 +22,15 @@ import (
 // single-block container).
 var Magic = [4]byte{'S', 'A', 'G', 'S'}
 
-// FormatVersion is the container version the writer emits. Readers
-// additionally accept every older version: 1 and 2 (one shared
-// manifest-less wire layout) and 3 (source manifest, no zone maps);
-// see docs/FORMAT.md for the version history and compatibility rules.
-const FormatVersion = 4
+// FormatVersion is the newest container version the writer emits.
+// Version 5 is written only when the container is similarity-reordered
+// (the header then carries the inverse permutation); identity-order
+// containers still marshal as version 4, byte for byte, so older
+// readers keep reading them. Readers additionally accept every older
+// version: 1 and 2 (one shared manifest-less wire layout), 3 (source
+// manifest, no zone maps), and 4 (zone maps, no reorder block); see
+// docs/FORMAT.md for the version history and compatibility rules.
+const FormatVersion = 5
 
 // manifestVersion is the first version whose header carries a source
 // manifest and per-shard source fields.
@@ -36,6 +40,25 @@ const manifestVersion = 3
 // size and whose index entries carry zone maps (per-shard summary
 // statistics plus a k-mer sketch, see zonemap.go).
 const zoneMapVersion = 4
+
+// reorderVersion is the first version whose header records a reorder
+// mode and — when the mode is not ReorderNone — the inverse
+// permutation that recovers original input order.
+const reorderVersion = 5
+
+// Reorder modes a container header may record (Index.ReorderMode).
+// The values mirror internal/reorder's Mode.
+const (
+	// ReorderNone: records are in ingest order (every container
+	// through v4, and v5 headers with a zero mode).
+	ReorderNone = 0
+	// ReorderClump: records were clump-sorted by minimizer at write
+	// time; Index.Perm maps stored position → original position.
+	ReorderClump = 1
+)
+
+// maxReorderMode caps the mode values a reader accepts.
+const maxReorderMode = ReorderClump
 
 // maxSketchBytes caps the per-shard sketch size a reader accepts: a
 // corrupt sketch-size varint must not drive shardCount × sketch
@@ -106,6 +129,14 @@ type Index struct {
 	// entry's Zone.Sketch has exactly this many bytes; 0 disables
 	// sketching (and is what re-marshaled legacy indexes carry).
 	SketchBytes int
+	// ReorderMode records how the writer permuted the records
+	// (ReorderNone, ReorderClump). Non-zero only in v5+ containers.
+	ReorderMode int
+	// Perm is the inverse permutation of a reordered container:
+	// Perm[i] is the original input position of the record stored at
+	// position i. len(Perm) == TotalReads when ReorderMode != 0, nil
+	// otherwise.
+	Perm []int64
 	// Sources is the source-file manifest (v3+). Empty when the writer
 	// had no file attribution (in-memory or single-stream compression);
 	// otherwise Entry.Source indexes into it.
@@ -181,12 +212,19 @@ func (c *Container) NumShards() int { return len(c.Index.Entries) }
 func (c *Container) HasZoneMaps() bool { return c.Version >= zoneMapVersion }
 
 // marshalHeader encodes magic, version, flags, counts, the optional
-// consensus, the source manifest, and the index. The block section
-// follows it verbatim.
+// reorder block, the optional consensus, the source manifest, and the
+// index. The block section follows it verbatim. The version byte is
+// the lowest that can carry the index: identity-order containers stay
+// version 4 (bit-identical to the pre-reorder writer), and only a
+// reordered index promotes the container to version 5.
 func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.Write(Magic[:])
-	buf.WriteByte(FormatVersion)
+	ver := byte(zoneMapVersion)
+	if ix.ReorderMode != ReorderNone {
+		ver = reorderVersion
+	}
+	buf.WriteByte(ver)
 	var flags uint8
 	if cons != nil {
 		flags |= flagConsensus
@@ -201,6 +239,26 @@ func marshalHeader(ix *Index, cons genome.Seq) ([]byte, error) {
 		return nil, fmt.Errorf("shard: sketch size %d outside [0,%d]", ix.SketchBytes, maxSketchBytes)
 	}
 	writeUvarint(&buf, uint64(ix.SketchBytes))
+	if ix.ReorderMode != ReorderNone {
+		if ix.ReorderMode < 0 || ix.ReorderMode > maxReorderMode {
+			return nil, fmt.Errorf("shard: unknown reorder mode %d", ix.ReorderMode)
+		}
+		if len(ix.Perm) != ix.TotalReads {
+			return nil, fmt.Errorf("shard: permutation has %d entries for %d reads", len(ix.Perm), ix.TotalReads)
+		}
+		writeUvarint(&buf, uint64(ix.ReorderMode))
+		enc, err := encodePerm(ix.Perm)
+		if err != nil {
+			return nil, err
+		}
+		writeUvarint(&buf, uint64(len(enc)))
+		buf.Write(enc)
+		var pc [4]byte
+		binary.LittleEndian.PutUint32(pc[:], crc32.ChecksumIEEE(enc))
+		buf.Write(pc[:])
+	} else if len(ix.Perm) != 0 {
+		return nil, fmt.Errorf("shard: permutation present but reorder mode is none")
+	}
 	if cons != nil {
 		writeUvarint(&buf, uint64(len(cons)))
 		f := genome.Format2Bit
@@ -266,6 +324,58 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], v)
 	buf.Write(tmp[:n])
+}
+
+// encodePerm serializes an inverse permutation as zigzag-delta varints
+// (binary.PutVarint of perm[i]-perm[i-1]): a clump sort keeps runs of
+// nearby original indices together, so deltas are small and the block
+// stays a fraction of a fixed-width encoding.
+func encodePerm(perm []int64) ([]byte, error) {
+	out := make([]byte, 0, len(perm)*2)
+	var tmp [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for i, v := range perm {
+		if v < 0 || v >= int64(len(perm)) {
+			return nil, fmt.Errorf("shard: permutation entry %d is %d, outside [0,%d)", i, v, len(perm))
+		}
+		n := binary.PutVarint(tmp[:], v-prev)
+		out = append(out, tmp[:n]...)
+		prev = v
+	}
+	return out, nil
+}
+
+// decodePerm reverses encodePerm and fully validates the result: total
+// entries must decode to exactly the encoded bytes, every value must
+// lie in [0,total), and no value may repeat — anything else is
+// corruption, since a stored block that is not a permutation of
+// [0,total) could silently drop or duplicate reads on original-order
+// recovery.
+func decodePerm(enc []byte, total int) ([]int64, error) {
+	perm := make([]int64, total)
+	seen := make([]uint64, (total+63)/64)
+	rd := bytes.NewReader(enc)
+	prev := int64(0)
+	for i := range perm {
+		d, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("shard: permutation block truncated at entry %d of %d", i, total)
+		}
+		v := prev + d
+		if v < 0 || v >= int64(total) {
+			return nil, fmt.Errorf("shard: permutation entry %d is %d, outside [0,%d)", i, v, total)
+		}
+		if seen[v>>6]&(1<<(uint(v)&63)) != 0 {
+			return nil, fmt.Errorf("shard: permutation repeats original index %d (entry %d)", v, i)
+		}
+		seen[v>>6] |= 1 << (uint(v) & 63)
+		perm[i] = v
+		prev = v
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("shard: permutation block has %d trailing bytes after %d entries", rd.Len(), total)
+	}
+	return perm, nil
 }
 
 // IsContainer reports whether data starts with the sharded-container
@@ -348,6 +458,46 @@ func parseHeader(prefix []byte, totalSize int64) (*Container, int, error) {
 	if ver >= zoneMapVersion {
 		if c.Index.SketchBytes, err = zu("sketch size", maxSketchBytes); err != nil {
 			return nil, 0, err
+		}
+	}
+	if ver >= reorderVersion {
+		if c.Index.ReorderMode, err = zu("reorder mode", maxReorderMode); err != nil {
+			return nil, 0, err
+		}
+		if c.Index.ReorderMode != ReorderNone {
+			encLen, err := ru("permutation block size")
+			if err != nil {
+				return nil, 0, err
+			}
+			// Every permutation entry costs at least one varint byte, so
+			// a block that cannot hold TotalReads entries — or that
+			// claims more bytes than the container — is corruption, not
+			// a short prefix. Checking before the allocation keeps a
+			// corrupt TotalReads from driving a giant make.
+			if encLen < c.Index.TotalReads {
+				return nil, 0, fmt.Errorf("shard: permutation block (%d bytes) cannot hold %d entries", encLen, c.Index.TotalReads)
+			}
+			if int64(encLen) > totalSize {
+				return nil, 0, fmt.Errorf("shard: permutation block (%d bytes) exceeds the %d-byte container", encLen, totalSize)
+			}
+			if encLen+4 > rd.Len() {
+				return nil, 0, short("permutation block", io.ErrUnexpectedEOF)
+			}
+			enc := make([]byte, encLen)
+			if _, err := io.ReadFull(rd, enc); err != nil {
+				return nil, 0, short("permutation block", err)
+			}
+			var pc [4]byte
+			if _, err := io.ReadFull(rd, pc[:]); err != nil {
+				return nil, 0, short("permutation checksum", err)
+			}
+			if got := crc32.ChecksumIEEE(enc); got != binary.LittleEndian.Uint32(pc[:]) {
+				return nil, 0, fmt.Errorf("shard: permutation checksum mismatch: got %08x, container says %08x",
+					got, binary.LittleEndian.Uint32(pc[:]))
+			}
+			if c.Index.Perm, err = decodePerm(enc, c.Index.TotalReads); err != nil {
+				return nil, 0, err
+			}
 		}
 	}
 	if flags&flagConsensus != 0 {
@@ -724,6 +874,7 @@ func Inspect(data []byte, cons genome.Seq) (string, error) {
 		c.Version, len(data), int64(len(data))-c.Index.BlockBytes(), c.Index.BlockBytes())
 	fmt.Fprintf(&b, "reads: %d in %d shards (target %d reads/shard); consensus: %d bases (embedded: %v)\n",
 		c.Index.TotalReads, c.NumShards(), c.Index.ShardReads, len(c.Consensus), c.Consensus != nil)
+	fmt.Fprintf(&b, "reorder: %s\n", reorderModeName(&c.Index))
 	fmt.Fprintf(&b, "%6s  %8s  %10s  %10s  %8s  %7s  %7s",
 		"shard", "reads", "offset", "bytes", "crc32", "B/read", "ratio")
 	if hasManifest {
@@ -777,6 +928,18 @@ func Inspect(data []byte, cons genome.Seq) (string, error) {
 		fmt.Fprintf(&b, "! undecodable: %s\n", msg)
 	}
 	return b.String(), nil
+}
+
+// reorderModeName renders an index's reorder mode for Inspect.
+func reorderModeName(ix *Index) string {
+	switch ix.ReorderMode {
+	case ReorderNone:
+		return "none (records in ingest order)"
+	case ReorderClump:
+		return fmt.Sprintf("clump (minimizer-sorted; %d-entry inverse permutation recovers the input order)", len(ix.Perm))
+	default:
+		return fmt.Sprintf("mode %d", ix.ReorderMode)
+	}
 }
 
 // inspectSizes decodes every shard on a worker pool and returns the

@@ -57,7 +57,21 @@ func FuzzParseHeader(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(zhdr)
-	for _, name := range []string{"golden_v1.sage", "golden_v2.sage", "golden_v3.sage", "golden_v4.sage"} {
+	// A v5 header with a reorder permutation, so the fuzzer mutates the
+	// perm block (mode, length, deltas, CRC) from a valid start.
+	reordered := &Index{TotalReads: 3, ShardReads: 2,
+		ReorderMode: ReorderClump, Perm: []int64{2, 0, 1},
+		Entries: []Entry{
+			{ReadCount: 2, Offset: 0, Length: 30, Checksum: 0xDEADBEEF},
+			{ReadCount: 1, Offset: 30, Length: 13, Checksum: 0xCAFEF00D},
+		}}
+	rhdr, err := marshalHeader(reordered, genome.MustFromString("ACGT"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rhdr)
+	for _, name := range []string{"golden_v1.sage", "golden_v2.sage", "golden_v3.sage",
+		"golden_v4.sage", "golden_v5.sage"} {
 		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
 			f.Add(data)
 		}
@@ -95,6 +109,28 @@ func FuzzParseHeader(f *testing.F) {
 		}
 		if reads != c.Index.TotalReads {
 			t.Fatalf("accepted inconsistent read totals: %d vs %d", reads, c.Index.TotalReads)
+		}
+		switch c.Index.ReorderMode {
+		case ReorderNone:
+			if len(c.Index.Perm) != 0 {
+				t.Fatalf("identity container carries a %d-entry perm", len(c.Index.Perm))
+			}
+		case ReorderClump:
+			if c.Version < 5 {
+				t.Fatalf("v%d container claims a reorder mode", c.Version)
+			}
+			if len(c.Index.Perm) != c.Index.TotalReads {
+				t.Fatalf("perm holds %d entries for %d reads", len(c.Index.Perm), c.Index.TotalReads)
+			}
+			seen := make(map[int64]bool, len(c.Index.Perm))
+			for i, p := range c.Index.Perm {
+				if p < 0 || p >= int64(c.Index.TotalReads) || seen[p] {
+					t.Fatalf("accepted invalid perm entry %d at %d", p, i)
+				}
+				seen[p] = true
+			}
+		default:
+			t.Fatalf("accepted unknown reorder mode %d", c.Index.ReorderMode)
 		}
 		if len(c.Index.Sources) > 0 {
 			per := make([]int, len(c.Index.Sources))

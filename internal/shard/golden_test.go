@@ -112,8 +112,33 @@ func TestGoldenConstants(t *testing.T) {
 	if string(Magic[:]) != "SAGS" {
 		t.Fatalf("magic changed: %q", Magic[:])
 	}
-	if FormatVersion != 4 {
+	if FormatVersion != 5 {
 		t.Fatalf("format version changed: %d", FormatVersion)
+	}
+}
+
+// TestGoldenIdentityVersionByte pins the compatibility rule the v5
+// writer lives by: an identity-order index still marshals with version
+// byte 4 — bit-identical to the pre-reorder writer — and only a
+// reordered index emits version 5.
+func TestGoldenIdentityVersionByte(t *testing.T) {
+	ix := &Index{TotalReads: 0, ShardReads: 7}
+	hdr, err := marshalHeader(ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr[4] != 4 {
+		t.Fatalf("identity header version byte = %d, want 4", hdr[4])
+	}
+	rix := &Index{TotalReads: 2, ShardReads: 2, ReorderMode: ReorderClump,
+		Perm:    []int64{1, 0},
+		Entries: []Entry{{ReadCount: 2, Length: 9, Checksum: 1}}}
+	hdr, err = marshalHeader(rix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr[4] != 5 {
+		t.Fatalf("reordered header version byte = %d, want 5", hdr[4])
 	}
 }
 
@@ -133,7 +158,9 @@ func TestGoldenRoundtripHeader(t *testing.T) {
 	if c.Index.ShardReads != 7 || c.NumShards() != 0 || c.Consensus.String() != "ACGT" {
 		t.Fatalf("parsed header mismatch: %+v cons=%q", c.Index, c.Consensus.String())
 	}
-	if c.Version != FormatVersion || len(c.Index.Sources) != 1 ||
+	// Identity-order headers deliberately keep the v4 version byte so
+	// pre-reorder readers (and golden pins) stay valid.
+	if c.Version != zoneMapVersion || len(c.Index.Sources) != 1 ||
 		c.Index.Sources[0].Display() != "a_R1.fq+a_R2.fq" {
 		t.Fatalf("parsed manifest mismatch: v%d %+v", c.Version, c.Index.Sources)
 	}

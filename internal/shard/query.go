@@ -211,7 +211,7 @@ func (c *Container) Filter(w io.Writer, cons genome.Seq, p *Predicate, workers i
 	if !p.Active() {
 		keep = nil
 	}
-	matched, err := c.streamShards(w, cons, workers, scan, keep)
+	matched, err := c.streamShards(writeSink(w), cons, workers, scan, keep)
 	if err != nil {
 		return nil, err
 	}

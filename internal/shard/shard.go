@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"hash/crc32"
@@ -13,6 +14,7 @@ import (
 	"sage/internal/fastq"
 	"sage/internal/genome"
 	"sage/internal/mapper"
+	"sage/internal/reorder"
 )
 
 // DefaultShardReads is the default shard size: large enough that the
@@ -93,23 +95,32 @@ type Stats struct {
 	// Sources is the number of manifest entries (input files or mate
 	// pairs); 0 when the writer had no file attribution.
 	Sources int
+	// ReorderMode is the reorder mode the container recorded
+	// (ReorderNone for identity-order containers).
+	ReorderMode int
+}
+
+// sliceSource is the leaf BatchSource over pre-cut in-memory batches
+// (the identity pipeline behind Compress).
+type sliceSource struct {
+	batches []fastq.Batch
+	i       int
+}
+
+func (s *sliceSource) Next() (fastq.Batch, error) {
+	if s.i >= len(s.batches) {
+		return fastq.Batch{}, io.EOF
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, nil
 }
 
 // Compress splits rs into shards and compresses them concurrently. The
 // output is deterministic: any worker count produces identical bytes.
 func Compress(rs *fastq.ReadSet, opt Options) ([]byte, *Stats, error) {
-	batches := rs.Batches(opt.shardReads())
-	i := 0
-	next := func() (fastq.Batch, error) {
-		if i >= len(batches) {
-			return fastq.Batch{}, io.EOF
-		}
-		b := batches[i]
-		i++
-		return b, nil
-	}
 	var buf bytes.Buffer
-	st, err := compress(next, &buf, opt, nil)
+	st, err := compress(&sliceSource{batches: rs.Batches(opt.shardReads())}, &buf, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,7 +132,7 @@ func Compress(rs *fastq.ReadSet, opt Options) ([]byte, *Stats, error) {
 // per worker; only the (much smaller) compressed blocks are buffered
 // until the index can be written.
 func CompressStream(br *fastq.BatchReader, w io.Writer, opt Options) (*Stats, error) {
-	return compress(br.Next, w, opt, nil)
+	return compress(br, w, opt)
 }
 
 // CompressSources compresses batches from a multi-file reader — lane
@@ -135,14 +146,31 @@ func CompressStream(br *fastq.BatchReader, w io.Writer, opt Options) (*Stats, er
 // even), not Options.ShardReads. Like the other writers, the output is
 // deterministic across worker counts.
 func CompressSources(mr *fastq.MultiReader, w io.Writer, opt Options) (*Stats, error) {
-	opt.ShardReads = mr.BatchSize()
-	return compress(mr.Next, w, opt, mr)
+	return CompressPipeline(mr, w, opt)
 }
 
-// compress runs the worker pool over next()'s batches and assembles the
-// container into w. mr is non-nil only for CompressSources, where it
-// supplies the source manifest after the batches are drained.
-func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fastq.MultiReader) (*Stats, error) {
+// CompressPipeline compresses batches from an arbitrary ingest
+// pipeline — a leaf reader, or stages wrapped around one (the
+// similarity-reorder stage, internal/reorder.Stage) — into one
+// container. The pipeline's capabilities are discovered structurally:
+// a stage exposing BatchSize() defines the recorded shard cut point, a
+// stage exposing Sources() contributes the source manifest, and a
+// stage exposing ReorderMode()/Perm() promotes the container to format
+// v5 with its inverse permutation. A bare BatchReader through this
+// path writes byte-for-byte what CompressStream writes — the identity
+// pipeline is free.
+func CompressPipeline(src fastq.BatchSource, w io.Writer, opt Options) (*Stats, error) {
+	return compress(src, w, opt)
+}
+
+// compress runs the worker pool over the source's batches and
+// assembles the container into w. Manifest, shard-size, and reorder
+// metadata are taken from the source when it offers them (see
+// CompressPipeline).
+func compress(src fastq.BatchSource, w io.Writer, opt Options) (*Stats, error) {
+	if bs, ok := src.(interface{ BatchSize() int }); ok {
+		opt.ShardReads = bs.BatchSize()
+	}
 	if len(opt.Core.Consensus) == 0 {
 		return nil, fmt.Errorf("shard: a consensus sequence is required")
 	}
@@ -157,12 +185,24 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 		blockOpt.SharedMapper = m
 	}
 
+	// A reordering stage needs the exact storage order: the container's
+	// permutation composes the stage's ingest permutation with the
+	// order the codec stores each shard's records in (§5.1.3 position
+	// sort), so it maps decoded positions — not ingest positions — back
+	// to the original input. Identity pipelines skip the bookkeeping.
+	rp, reordering := src.(interface {
+		ReorderMode() int
+		Perm() []int64
+	})
+	reordering = reordering && rp.ReorderMode() != ReorderNone
+
 	var (
 		mu       sync.Mutex
 		blocks   [][]byte
 		counts   []int
 		sources  []int
 		zones    []ZoneMap
+		orders   [][]int
 		firstErr error
 	)
 	var stop atomic.Bool
@@ -201,17 +241,21 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 					counts = append(counts, 0)
 					sources = append(sources, 0)
 					zones = append(zones, ZoneMap{})
+					orders = append(orders, nil)
 				}
 				blocks[b.Index] = enc.Data
 				counts[b.Index] = len(b.Records)
 				sources[b.Index] = b.Source
 				zones[b.Index] = zm
+				if reordering {
+					orders[b.Index] = enc.Order
+				}
 				mu.Unlock()
 			}
 		}()
 	}
 	for !stop.Load() {
-		b, err := next()
+		b, err := src.Next()
 		if err == io.EOF {
 			break
 		}
@@ -229,10 +273,36 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 
 	ix := &Index{ShardReads: opt.shardReads(), SketchBytes: opt.sketchBytes(),
 		Entries: make([]Entry, len(blocks))}
-	if mr != nil {
-		for _, s := range mr.Sources() {
+	if ms, ok := src.(interface{ Sources() []fastq.Source }); ok {
+		for _, s := range ms.Sources() {
 			ix.Sources = append(ix.Sources, SourceFile{Name: s.Name, Mate: s.Mate})
 		}
+	}
+	if reordering {
+		// The stage permutation maps ingest positions to original input
+		// positions; the codec then stores each shard position-sorted.
+		// Compose the two so Perm[decoded position] = original position
+		// — complete only after the drain above, and validated against
+		// TotalReads by the marshaller.
+		stagePerm := rp.Perm()
+		perm := make([]int64, 0, len(stagePerm))
+		start := 0
+		for i := range blocks {
+			if len(orders[i]) != counts[i] {
+				return nil, fmt.Errorf("shard: shard %d storage order covers %d of %d records",
+					i, len(orders[i]), counts[i])
+			}
+			for _, o := range orders[i] {
+				if start+o >= len(stagePerm) {
+					return nil, fmt.Errorf("shard: stage permutation holds %d entries, shard %d reaches %d",
+						len(stagePerm), i, start+o)
+				}
+				perm = append(perm, stagePerm[start+o])
+			}
+			start += counts[i]
+		}
+		ix.ReorderMode = rp.ReorderMode()
+		ix.Perm = perm
 	}
 	var off int64
 	for i, blk := range blocks {
@@ -276,6 +346,7 @@ func compress(next func() (fastq.Batch, error), w io.Writer, opt Options, mr *fa
 		HeaderBytes:     len(hdr),
 		BlockBytes:      int(off),
 		Sources:         len(ix.Sources),
+		ReorderMode:     ix.ReorderMode,
 	}, nil
 }
 
@@ -321,16 +392,70 @@ func (c *Container) DecompressTo(w io.Writer, cons genome.Seq, workers int) erro
 	for i := range list {
 		list[i] = i
 	}
-	_, err := c.streamShards(w, cons, workers, list, nil)
+	_, err := c.streamShards(writeSink(w), cons, workers, list, nil)
 	return err
 }
 
+// DecompressOriginalTo streams the container to w in the exact
+// original input order. For identity-order containers it is
+// DecompressTo; for a reordered container (format v5) the shards
+// decode through the same bounded-memory window, each record is tagged
+// with its original index from the stored inverse permutation, and an
+// external sort under sc's memory budget puts the stream back —
+// original-order recovery of a container far larger than RAM costs
+// O(window + sort budget), not O(container). This is the engine behind
+// `sage decompress -original-order`.
+func (c *Container) DecompressOriginalTo(w io.Writer, cons genome.Seq, workers int, sc reorder.SortConfig) error {
+	if c.Index.ReorderMode == ReorderNone {
+		return c.DecompressTo(w, cons, workers)
+	}
+	perm := c.Index.Perm
+	r := reorder.NewRestorer(sc)
+	defer r.Close()
+	list := make([]int, c.NumShards())
+	for i := range list {
+		list[i] = i
+	}
+	pos := 0
+	_, err := c.streamShards(func(rs *fastq.ReadSet) error {
+		for j := range rs.Records {
+			if pos >= len(perm) {
+				return fmt.Errorf("shard: container holds more records than its %d-entry permutation", len(perm))
+			}
+			if err := r.Add(perm[pos], rs.Records[j]); err != nil {
+				return err
+			}
+			pos++
+		}
+		return nil
+	}, cons, workers, list, nil)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var line []byte
+	if err := r.Emit(func(rec *fastq.Record) error {
+		line = rec.AppendText(line[:0])
+		_, werr := bw.Write(line)
+		return werr
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeSink adapts an io.Writer into a streamShards sink.
+func writeSink(w io.Writer) func(*fastq.ReadSet) error {
+	return func(rs *fastq.ReadSet) error { return rs.Write(w) }
+}
+
 // streamShards is the bounded-memory streaming engine shared by
-// DecompressTo and Filter: the shards named by list decode on a worker
-// pool and their records stream to w in list order. keep, when non-nil,
-// drops non-matching records worker-side before the shard ever reaches
-// the writer. Returns the number of records written.
-func (c *Container) streamShards(w io.Writer, cons genome.Seq, workers int, list []int, keep func(*fastq.Record) bool) (int, error) {
+// DecompressTo, DecompressOriginalTo, and Filter: the shards named by
+// list decode on a worker pool and their records reach emit in list
+// order. keep, when non-nil, drops non-matching records worker-side
+// before the shard ever reaches the sink. Returns the number of
+// records emitted.
+func (c *Container) streamShards(emit func(*fastq.ReadSet) error, cons genome.Seq, workers int, list []int, keep func(*fastq.Record) bool) (int, error) {
 	n := len(list)
 	if n == 0 {
 		return 0, nil
@@ -425,7 +550,7 @@ func (c *Container) streamShards(w io.Writer, cons genome.Seq, workers int, list
 		rs := ready[i]
 		delete(ready, i)
 		mu.Unlock()
-		writeErr = rs.Write(w)
+		writeErr = emit(rs)
 		if writeErr == nil {
 			written += len(rs.Records)
 		}
