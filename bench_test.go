@@ -96,6 +96,12 @@ func BenchmarkQuery(b *testing.B) { runExperiment(b, "query") }
 // recovery verified (see internal/bench/reorder.go).
 func BenchmarkReorder(b *testing.B) { runExperiment(b, "reorder") }
 
+// BenchmarkIngestDecode reports the compressed-ingest decode stage:
+// member-parallel gzip (BGZF/PGZ1) vs serial stdlib, the
+// decode-vs-compress critical-path check, and recompress byte-identity
+// (see internal/bench/ingestdecode.go).
+func BenchmarkIngestDecode(b *testing.B) { runExperiment(b, "ingestdecode") }
+
 // BenchmarkCodecCompress and BenchmarkCodecDecompress time the SAGe codec
 // itself (microbenchmarks complementing the system-level experiments).
 func BenchmarkCodecCompress(b *testing.B) {

@@ -4,6 +4,9 @@
 //	sage compress   FASTQ file(s) -> one .sage container; many inputs
 //	                (lane splits, or -paired R1/R2 mates) become a single
 //	                sharded container with a source manifest
+//	sage recompress gzipped FASTQ archive(s) -> one .sage container,
+//	                decoding member-parallel (bgzip/BGZF, PGZ1) or
+//	                pipelined (generic gzip) — the migration path
 //	sage decompress .sage container -> FASTQ
 //	sage inspect    show a container's streams, tables and statistics
 //	sage verify     check two FASTQ files describe the same read multiset
@@ -42,6 +45,8 @@ import (
 	"sage/internal/fastq"
 	"sage/internal/genome"
 	"sage/internal/instorage"
+	"sage/internal/obs"
+	"sage/internal/pargz"
 	"sage/internal/reorder"
 	"sage/internal/serve"
 	"sage/internal/shard"
@@ -60,6 +65,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "compress":
 		err = cmdCompress(os.Args[2:])
+	case "recompress":
+		err = cmdRecompress(os.Args[2:])
 	case "decompress":
 		err = cmdDecompress(os.Args[2:])
 	case "filter":
@@ -150,6 +157,9 @@ commands:
               -out reads.sage (-ref ref.txt | -denovo) [-paired] [-no-quality]
               [-no-headers] [-shard-reads 4096] [-threads N]
               [-reorder [-sort-mem MiB] [-tmpdir DIR]]
+  recompress  [flags] archive.fq.gz [archive2.fq.gz ...]
+              -ref ref.txt [-out reads.sage] [-paired] [-shard-reads 4096]
+              [-threads N] [-reorder [-sort-mem MiB] [-tmpdir DIR]]
   decompress  -in reads.sage -out reads.fastq [-ref ref.txt] [-threads N]
               [-original-order [-sort-mem MiB] [-tmpdir DIR]]
   filter      -in reads.sage [-out match.fastq] [-ref ref.txt] [-threads N]
@@ -180,7 +190,18 @@ ingest streams and therefore needs -ref. Example:
 
 compress inputs may be gzipped (detected by magic bytes, not file
 extension); plain and gzipped files can be mixed freely, including in
--paired runs.
+-paired runs. bgzip/BGZF and PGZ1 inputs decode member-parallel on
+-threads workers; generic single-member gzip decodes on a pipelined
+readahead goroutine, so decompression overlaps parsing either way.
+
+recompress is the gzip->sage migration path: it streams gzipped FASTQ
+archives straight into one sharded container (same ingest pipeline as
+compress, -ref required) and reports the ratio against both the raw
+FASTQ and the gzip input, the decode throughput, each input's decode
+tier, and a stage-attribution table proving the decoder was never the
+critical path. Example:
+
+  sage recompress -ref ref.txt -out run.sage lane1.fq.gz lane2.fq.gz
 
 compress -reorder clump-sorts the reads by similarity (minimizer
 MinHash) before sharding, so similar reads share shards and the
@@ -410,11 +431,13 @@ func cmdCompress(args []string) error {
 		}
 		defer f.Close()
 		// Inputs may be gzipped: the source stage sniffs the magic and
-		// decompresses transparently.
-		r, err := fastq.SniffReader(f)
+		// decompresses transparently — member-parallel on -threads
+		// workers for BGZF/PGZ1 inputs, pipelined for generic gzip.
+		r, err := fastq.Sniff(f, fastq.SniffOptions{Name: inputs[0], Threads: *threads})
 		if err != nil {
 			return err
 		}
+		defer fastq.CloseSniffed(r)
 		var src fastq.BatchSource = fastq.NewBatchReader(r, opt.ShardReads)
 		if *doReorder {
 			stage, err := reorder.NewStage(src, reorder.Config{
@@ -516,14 +539,20 @@ func compressSources(inputs []string, out, refPath string, paired, denovo bool, 
 		}
 	}()
 	readers := make([]io.Reader, 0, len(inputs))
+	defer func() {
+		for _, r := range readers {
+			fastq.CloseSniffed(r)
+		}
+	}()
 	for _, path := range inputs {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		files = append(files, f)
-		// Per-file gzip sniff: a run may mix plain and gzipped lanes.
-		r, err := fastq.SniffReader(f)
+		// Per-file gzip sniff: a run may mix plain and gzipped lanes,
+		// each decoding on its own pargz reader bounded by -threads.
+		r, err := fastq.Sniff(f, fastq.SniffOptions{Name: path, Threads: opt.Workers})
 		if err != nil {
 			return err
 		}
@@ -589,6 +618,191 @@ func compressSources(inputs []string, out, refPath string, paired, denovo bool, 
 		fmt.Printf("  %s: %d reads\n", s.Display(), perSrc[i])
 	}
 	return nil
+}
+
+// cmdRecompress is the gzip→sage migration path: it streams gzipped
+// FASTQ archives (bgzip/BGZF and PGZ1 inputs decode member-parallel,
+// generic gzip pipelined) straight into one sharded container and
+// reports what the migration bought — ratio against both the raw FASTQ
+// and the gzip input, decode throughput, per-input decode tier, and a
+// stage-attribution table showing decompression never owned the
+// critical path.
+func cmdRecompress(args []string) error {
+	fs := flag.NewFlagSet("recompress", flag.ContinueOnError)
+	out := fs.String("out", "", "output container (default: first input, .gz stripped, + .sage)")
+	refPath := fs.String("ref", "", "consensus/reference sequence file (required: recompress streams)")
+	paired := fs.Bool("paired", false, "treat inputs as paired-end R1 R2 [R1 R2 ...] mate files, interleaved pairwise")
+	shardReads := fs.Int("shard-reads", shard.DefaultShardReads, "reads per shard")
+	threads := fs.Int("threads", 0, "decode + compression workers (0 = all CPUs)")
+	doReorder := fs.Bool("reorder", false, "clump-sort reads by similarity before sharding (container format v5)")
+	sortMem := fs.Int("sort-mem", 256, "reorder sort memory budget in MiB before spilling runs to disk")
+	tmpDir := fs.String("tmpdir", "", "directory for reorder spill files (default: the system temp dir)")
+	inputs, err := parseFlagsArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if err := checkThreads("recompress", *threads); err != nil {
+		return err
+	}
+	if *shardReads <= 0 {
+		return usagef("recompress: -shard-reads must be > 0, got %d", *shardReads)
+	}
+	if *sortMem <= 0 {
+		return usagef("recompress: -sort-mem must be > 0 MiB, got %d", *sortMem)
+	}
+	if len(inputs) == 0 {
+		return usagef("recompress: at least one gzipped FASTQ input is required")
+	}
+	if *paired && len(inputs)%2 != 0 {
+		return usagef("recompress: -paired needs an even number of inputs (R1 R2 [R1 R2 ...]), got %d", len(inputs))
+	}
+	if *refPath == "" {
+		return usagef("recompress: -ref is required (recompress streams its inputs)")
+	}
+	if *out == "" {
+		*out = strings.TrimSuffix(strings.TrimSuffix(inputs[0], ".gz"), ".gzip") + ".sage"
+	}
+	cons, err := readRef(*refPath)
+	if err != nil {
+		return err
+	}
+	opt := shard.DefaultOptions(cons)
+	opt.ShardReads = *shardReads
+	opt.Workers = *threads
+
+	seen := make(map[string]string, len(inputs))
+	for _, path := range inputs {
+		base := filepath.Base(path)
+		if prev, dup := seen[base]; dup {
+			return usagef("recompress: inputs %s and %s would both be recorded as %q in the source manifest; rename one", prev, path, base)
+		}
+		seen[base] = path
+	}
+
+	trace := obs.NewTrace("recompress")
+	start := time.Now()
+	var (
+		files    []*os.File
+		readers  []io.Reader
+		inBytes  int64 // compressed (on-disk) input bytes
+		decoders []*pargz.Reader
+	)
+	defer func() {
+		for _, r := range readers {
+			fastq.CloseSniffed(r)
+		}
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		if fi, err := f.Stat(); err == nil {
+			inBytes += fi.Size()
+		}
+		r, err := fastq.Sniff(f, fastq.SniffOptions{Name: path, Threads: *threads, Trace: trace})
+		if err != nil {
+			return err
+		}
+		readers = append(readers, r)
+		if zr, ok := r.(*pargz.Reader); ok {
+			decoders = append(decoders, zr)
+		} else {
+			decoders = append(decoders, nil)
+		}
+	}
+
+	// Count decoded FASTQ bytes per input (pargz stats cover compressed
+	// inputs; the wrapper covers plain-text ones uniformly).
+	counted := make([]*countingReader, len(readers))
+	named := make([]fastq.NamedReader, len(readers))
+	for i, r := range readers {
+		counted[i] = &countingReader{r: r}
+		named[i] = fastq.NamedReader{Name: filepath.Base(inputs[i]), R: counted[i]}
+	}
+	var mr *fastq.MultiReader
+	if *paired {
+		pairs := make([][2]fastq.NamedReader, 0, len(named)/2)
+		for i := 0; i+1 < len(named); i += 2 {
+			pairs = append(pairs, [2]fastq.NamedReader{named[i], named[i+1]})
+		}
+		mr, err = fastq.NewPairedReader(pairs, opt.ShardReads)
+	} else {
+		mr, err = fastq.NewMultiReader(named, opt.ShardReads)
+	}
+	if err != nil {
+		return err
+	}
+	var src fastq.BatchSource = mr
+	if *doReorder {
+		stage, err := reorder.NewStage(mr, reorder.Config{
+			Mode: reorder.ModeClump, BatchSize: mr.BatchSize(), Paired: *paired,
+			Sort: reorder.SortConfig{MemBudget: int64(*sortMem) << 20, TmpDir: *tmpDir},
+		})
+		if err != nil {
+			return err
+		}
+		defer stage.Close()
+		src = stage
+	}
+	st, err := writeContainer(*out, func(w io.Writer) (*shard.Stats, error) {
+		sp := trace.StartSpan("shard-compress")
+		defer sp.End()
+		return shard.CompressPipeline(src, w, opt)
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var fastqBytes int64
+	for _, c := range counted {
+		fastqBytes += c.n
+	}
+	fmt.Printf("%s: %d bytes in %d shards (%d reads from %d inputs)%s\n",
+		*out, st.CompressedBytes, st.Shards, st.Reads, len(inputs), reorderNote(st))
+	for i, path := range inputs {
+		if zr := decoders[i]; zr != nil {
+			zst := zr.Stats()
+			fmt.Printf("  %s: %s, %d members, %d B compressed -> %d B FASTQ\n",
+				filepath.Base(path), zr.Tier(), zst.Members, zst.CompressedBytes, zst.DecodedBytes)
+		} else {
+			fmt.Printf("  %s: plain FASTQ, %d B\n", filepath.Base(path), counted[i].n)
+		}
+	}
+	containerBytes := int64(st.CompressedBytes)
+	fmt.Printf("totals: %d B gzip input -> %d B FASTQ -> %d B sage\n",
+		inBytes, fastqBytes, containerBytes)
+	if containerBytes > 0 && fastqBytes > 0 {
+		fmt.Printf("  sage vs FASTQ: %.2fx   sage vs gzip input: %.2fx\n",
+			float64(fastqBytes)/float64(containerBytes),
+			float64(inBytes)/float64(containerBytes))
+	}
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Printf("  decoded+recompressed in %.2fs (%.1f MB/s FASTQ-side, %.1f MB/s gzip-side)\n",
+			secs, float64(fastqBytes)/1e6/secs, float64(inBytes)/1e6/secs)
+	}
+	fmt.Printf("stage attribution (gunzip-wait is decode stalling the pipeline):\n%s",
+		obs.StageTable(trace.Stages()))
+	return nil
+}
+
+// countingReader counts bytes delivered; recompress uses it to report
+// FASTQ-side volume uniformly across compressed and plain inputs.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // reorderNote renders the reorder suffix of a compress report line.
@@ -1089,10 +1303,11 @@ func readFASTQ(path string) (*fastq.ReadSet, error) {
 	defer f.Close()
 	// Gzipped FASTQ is sniffed by magic, not extension, like every
 	// other compress input path.
-	r, err := fastq.SniffReader(f)
+	r, err := fastq.Sniff(f, fastq.SniffOptions{Name: path})
 	if err != nil {
 		return nil, err
 	}
+	defer fastq.CloseSniffed(r)
 	return fastq.Parse(r)
 }
 

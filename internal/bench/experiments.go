@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +11,27 @@ import (
 	"sage/internal/hw"
 	"sage/internal/ssd"
 )
+
+// metricSlug turns a display name like "(N)SprAC" or "SAGeSSD+ISF"
+// into a metric-key fragment: lowercase alphanumerics with runs of
+// everything else collapsed to single underscores.
+func metricSlug(name string) string {
+	var b strings.Builder
+	us := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if us && b.Len() > 0 {
+				b.WriteByte('_')
+			}
+			us = false
+			b.WriteRune(r)
+		default:
+			us = true
+		}
+	}
+	return b.String()
+}
 
 // Suite materializes datasets lazily and runs every experiment.
 type Suite struct {
@@ -134,6 +156,9 @@ func (s *Suite) Fig1() (*Table, error) {
 			"lost benefit: accelerated analysis achieves %.1f%% of its ideal-prep throughput when prep uses the software genomic decompressor",
 			100*accPrep/accIdeal))
 	}
+	t.Metric("fig1_acc_prep_kreads_s", accPrep)
+	t.Metric("fig1_ideal_prep_kreads_s", accIdeal)
+	t.Metric("fig1_realized_pct_of_ideal", 100*accPrep/accIdeal)
 	return t, nil
 }
 
@@ -176,6 +201,8 @@ func (s *Suite) Fig4() (*Table, error) {
 	}
 	t.Rows = append(t.Rows, []string{"GMean", f2(geomean(gp)), "1.00", f2(geomean(gi))})
 	t.Notes = append(t.Notes, "paper: eliminating prep gives 12.3x over pigz and 4.0x over (N)Spr on average")
+	t.Metric("fig4_pigz_vs_spring_gmean", geomean(gp))
+	t.Metric("fig4_ideal_vs_spring_gmean", geomean(gi))
 	return t, nil
 }
 
@@ -236,6 +263,9 @@ func (s *Suite) Fig7() (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"P1: most deltas need few bits; P3: most blocks are length 1 yet longer blocks hold a large base share")
+	t.Metric("fig7_delta_le10bits_pct", 100*cum)
+	t.Metric("fig7_zero_mismatch_reads_pct", 100*float64(cd[0])/float64(ctotal))
+	t.Metric("fig7_indel_len1_blocks_pct", 100*float64(bl[1])/float64(blocks))
 	return t, nil
 }
 
@@ -257,10 +287,15 @@ func (s *Suite) Fig10() (*Table, error) {
 		Title:  "Bits needed for delta-encoded matching positions (RS2)",
 		Header: []string{"bits", "% of matching positions"},
 	}
+	cum8 := 0.0
 	for b := 0; b <= 15; b++ {
+		if b <= 8 {
+			cum8 += float64(h[b]) / total
+		}
 		t.Rows = append(t.Rows, []string{fmt.Sprint(b), pct(float64(h[b]) / total)})
 	}
 	t.Notes = append(t.Notes, "paper: heavy skew toward small bit counts (deep sampling, Property 6)")
+	t.Metric("fig10_delta_le8bits_pct", 100*cum8)
 	return t, nil
 }
 
@@ -309,6 +344,11 @@ func (s *Suite) Fig13() (*Table, error) {
 			row = append(row, f2(geomean(gms[ci])))
 		}
 		t.Rows = append(t.Rows, row)
+		if iface.Name == ssd.PCIeGen4().Name {
+			for ci, c := range AllConfigs() {
+				t.Metric("fig13_pcie_gmean_"+metricSlug(c.String()), geomean(gms[ci]))
+			}
+		}
 	}
 	t.Notes = append(t.Notes,
 		"paper (PCIe): SAGe = 12.3x over pigz, 3.9x over (N)Spr, 3.0x over (N)SprAC; SAGe matches 0TimeDec",
@@ -357,6 +397,9 @@ func (s *Suite) Fig14() (*Table, error) {
 	}
 	t.Rows = append(t.Rows, row)
 	t.Notes = append(t.Notes, "paper: SAGe prep is 91.3x over pigz, 29.5x over (N)Spr, 22.3x over (N)SprAC")
+	for ci, c := range cfgs {
+		t.Metric("fig14_prep_speedup_gmean_"+metricSlug(c.String()), geomean(gms[ci]))
+	}
 	return t, nil
 }
 
@@ -375,6 +418,7 @@ func (s *Suite) Fig15() (*Table, error) {
 		Title:  "End-to-end speedup over (N)Spr with multiple SSDs (PCIe)",
 		Header: []string{"read set", "#SSDs", "SAGe", "SAGeSSD+ISF"},
 	}
+	sgByN := make(map[int][]float64)
 	for _, m := range ms {
 		plat := s.platform()
 		base, err := EndToEnd(CfgSpring, m, plat)
@@ -392,6 +436,7 @@ func (s *Suite) Fig15() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			sgByN[n] = append(sgByN[n], base.Total.Seconds()/sg.Total.Seconds())
 			t.Rows = append(t.Rows, []string{
 				m.Gen.Label, fmt.Sprintf("%dx", n),
 				f2(base.Total.Seconds() / sg.Total.Seconds()),
@@ -400,6 +445,9 @@ func (s *Suite) Fig15() (*Table, error) {
 		}
 	}
 	t.Notes = append(t.Notes, "paper: SAGe keeps its speedup; SAGeSSD+ISF gains with more SSDs on ISF-friendly sets")
+	for _, n := range []int{1, 2, 4} {
+		t.Metric(fmt.Sprintf("fig15_sage_gmean_%dssd", n), geomean(sgByN[n]))
+	}
 	return t, nil
 }
 
@@ -430,6 +478,9 @@ func (s *Suite) Table1() (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"area = %.2f%% of three SSD-controller cores (paper: 0.7%%)",
 		100*hw.AreaFractionOfControllerCores(8, 3, hw.ModeInSSD)))
+	t.Metric("tab1_area_mm2_8ch", m3.AreaMM2)
+	t.Metric("tab1_power_mw_mode3", m3.PowerMW)
+	t.Metric("tab1_area_pct_of_ctrl_cores", 100*hw.AreaFractionOfControllerCores(8, 3, hw.ModeInSSD))
 	return t, nil
 }
 
@@ -474,6 +525,9 @@ func (s *Suite) Fig16() (*Table, error) {
 	}
 	t.Rows = append(t.Rows, row)
 	t.Notes = append(t.Notes, "paper: SAGe reduces energy 34.0x vs pigz, 16.9x vs (N)Spr, 13.0x vs (N)SprAC")
+	for ci, c := range cfgs {
+		t.Metric("fig16_energy_reduction_gmean_"+metricSlug(c.String()), geomean(gms[ci]))
+	}
 	return t, nil
 }
 
@@ -510,6 +564,8 @@ func (s *Suite) Table2() (*Table, error) {
 		fmt.Sprintf("SAGe DNA ratio vs (N)Spr: %.1f%% (paper: -4.6%%); vs pigz: %.1fx (paper: 2.9x)",
 			100*(geomean(sageVsSpring)-1), geomean(sageVsPigz)),
 		"SAGe and (N)Spr share the quality codec, so quality ratios match (paper Table 2)")
+	t.Metric("tab2_sage_dna_vs_spring_pct", 100*(geomean(sageVsSpring)-1))
+	t.Metric("tab2_sage_dna_vs_pigz_x", geomean(sageVsPigz))
 	return t, nil
 }
 
@@ -552,6 +608,8 @@ func (s *Suite) Fig17() (*Table, error) {
 				f2(float64(c.Unmapped) / norm),
 			})
 		}
+		t.Metric("fig17_"+metricSlug(label)+"_final_vs_no",
+			float64(bds[len(bds)-1].TotalBits())/norm)
 	}
 	t.Notes = append(t.Notes,
 		"paper: O1 shrinks matching positions (short); O2 shrinks mismatch positions/counts;",
@@ -600,6 +658,9 @@ func (s *Suite) Table3() (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"SAGe's decoder performs no pattern-matching lookups: per-channel state is five shift registers (§5.2)")
+	t.Metric("tab3_sage_dna_ratio_gmean", geomean(ratios))
+	t.Metric("tab3_hw_model_decode_gbps", ssdModelDecodeGBps(geomean(totalRatios)))
+	t.Metric("tab3_sw_decode_gbps", geomean(tput)/1e9)
 	return t, nil
 }
 
@@ -631,6 +692,7 @@ func (s *Suite) Fig18() (*Table, error) {
 		Title:  "Compression time (normalized per read set)",
 		Header: []string{"read set", "tool", "find-mismatches", "encode", "total"},
 	}
+	var sageFindShare []float64
 	for _, m := range ms {
 		max := m.Pigz.CompressTime
 		for _, d := range []time.Duration{m.Spring.CompressTime, m.SAGe.CompressTime} {
@@ -645,6 +707,9 @@ func (s *Suite) Fig18() (*Table, error) {
 				find = cr.CompressTime
 			}
 			enc := cr.CompressTime - find
+			if cr == &m.SAGe {
+				sageFindShare = append(sageFindShare, find.Seconds()/cr.CompressTime.Seconds())
+			}
 			t.Rows = append(t.Rows, []string{
 				m.Gen.Label, cr.Name, norm(find), norm(enc), norm(cr.CompressTime),
 			})
@@ -652,6 +717,7 @@ func (s *Suite) Fig18() (*Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"paper: genomic compressors are dominated by mismatch finding; SAGe's encode is slightly faster than (N)Spr's backend")
+	t.Metric("fig18_sage_find_share_gmean", geomean(sageFindShare))
 	return t, nil
 }
 
@@ -685,6 +751,7 @@ func (s *Suite) experimentList() []struct {
 		{"instorage", s.InstorageExperiment},
 		{"query", s.QueryExperiment},
 		{"reorder", s.ReorderExperiment},
+		{"ingestdecode", s.IngestDecodeExperiment},
 	}
 }
 

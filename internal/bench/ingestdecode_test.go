@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestIngestDecodeGates pins the PR's acceptance gates for compressed
+// ingest: member-parallel decode is at least 2x serial stdlib on
+// multi-member input (modeled on the measured per-member times, so the
+// gate is stable on throttled CI hosts), decode is never the pipeline
+// critical path at ingestWorkers shard workers, and recompress output
+// is byte-identical in both identity and reorder + original-order
+// modes.
+func TestIngestDecodeGates(t *testing.T) {
+	s := testSuite(t)
+	tb, err := s.IngestDecodeExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := func(name string) float64 {
+		v, ok := tb.Metrics[name]
+		if !ok {
+			t.Fatalf("metric %q missing from %v", name, tb.Metrics)
+		}
+		return v
+	}
+
+	if m := metric("members"); m < 16 {
+		t.Errorf("BGZF fixture has only %.0f members; too few for a meaningful parallel gate", m)
+	}
+	if sp := metric("decode_model_speedup_8w"); sp < 2 {
+		t.Errorf("member-parallel decode speedup %.2fx at %d workers; gate requires >= 2x", sp, ingestWorkers)
+	}
+	if c := metric("decode_critical"); c != 0 {
+		t.Errorf("decode is the pipeline critical path at %d workers (headroom %.2fx)",
+			ingestWorkers, metric("decode_headroom_8w"))
+	}
+	if metric("roundtrip_identity") != 1 {
+		t.Error("identity recompress is not byte-identical to compressing the plain FASTQ")
+	}
+	if metric("roundtrip_reorder_original") != 1 {
+		t.Error("reorder recompress + original-order restore is not byte-identical to the input")
+	}
+}

@@ -2,8 +2,10 @@ package fastq
 
 import (
 	"bufio"
-	"compress/gzip"
 	"io"
+
+	"sage/internal/obs"
+	"sage/internal/pargz"
 )
 
 // The ingest side of compression is a staged pipeline: a BatchSource
@@ -36,28 +38,72 @@ var (
 // gzipMagic is the two-byte gzip member header (RFC 1952).
 var gzipMagic = [2]byte{0x1f, 0x8b}
 
-// SniffReader adapts an input stream for FASTQ scanning, transparently
-// decompressing gzip: the first two bytes are sniffed (never consumed
-// from the caller's view) and a stream starting with the gzip magic is
-// wrapped in a stdlib gzip reader — multi-member files, as produced by
-// bgzip and lane concatenation, decode across member boundaries.
-// Anything else (including an empty stream) passes through buffered but
-// otherwise untouched, so plain-text FASTQ pays only a bufio layer it
-// would get from the scanner anyway.
-func SniffReader(r io.Reader) (io.Reader, error) {
-	br := bufio.NewReader(r)
-	head, err := br.Peek(2)
-	if err != nil {
+// pgz1Magic is gzipc's parallel-gzip container magic.
+var pgz1Magic = [4]byte{'P', 'G', 'Z', '1'}
+
+// SniffOptions tunes Sniff's compressed-input handling; the zero value
+// matches the historical SniffReader behavior with pargz acceleration.
+type SniffOptions struct {
+	// Name labels decode errors with the input's name (usually a path).
+	Name string
+	// Threads bounds parallel member decode (0 = GOMAXPROCS), plumbed
+	// from the CLI's -threads.
+	Threads int
+	// Metrics and Trace, when non-nil, instrument the decode stage
+	// (decoded-byte counters, readahead-stall histogram, gunzip spans).
+	Metrics *pargz.Metrics
+	Trace   *obs.Trace
+}
+
+// Sniff adapts an input stream for FASTQ scanning, transparently
+// decompressing compressed inputs: the first bytes are sniffed (never
+// consumed from the caller's view) and a stream starting with the gzip
+// or PGZ1 magic decodes through internal/pargz — BGZF/bgzip and PGZ1
+// inputs inflate member-parallel on Threads workers, generic gzip
+// decodes on a pipelined readahead goroutine, so ingest never
+// serializes behind a single-threaded inflate. Anything else
+// (including an empty stream) passes through buffered but otherwise
+// untouched, so plain-text FASTQ pays only a bufio layer it would get
+// from the scanner anyway.
+//
+// When the returned reader is a decompressor it is also an
+// io.ReadCloser; callers abandoning the stream early should Close it
+// (CloseSniffed does so safely for any sniffed reader).
+func Sniff(r io.Reader, opt SniffOptions) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	head, err := br.Peek(4)
+	if err != nil && len(head) < 2 {
 		// A stream shorter than the magic cannot be gzip; the scanner
 		// will report truncation (or clean EOF) on its own terms.
 		return br, nil
 	}
-	if head[0] != gzipMagic[0] || head[1] != gzipMagic[1] {
+	gz := head[0] == gzipMagic[0] && head[1] == gzipMagic[1]
+	pgz := len(head) >= 4 && [4]byte(head[:4]) == pgz1Magic
+	if !gz && !pgz {
 		return br, nil
 	}
-	zr, err := gzip.NewReader(br)
+	zr, err := pargz.NewReader(br, pargz.Options{
+		Name:    opt.Name,
+		Workers: opt.Threads,
+		Metrics: opt.Metrics,
+		Trace:   opt.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return zr, nil
+}
+
+// SniffReader is Sniff with default options, kept for call sites that
+// need no instrumentation.
+func SniffReader(r io.Reader) (io.Reader, error) {
+	return Sniff(r, SniffOptions{})
+}
+
+// CloseSniffed releases the decode goroutines behind a reader returned
+// by Sniff, if any. Safe on plain (non-compressed) sniffed readers.
+func CloseSniffed(r io.Reader) {
+	if c, ok := r.(io.Closer); ok {
+		c.Close()
+	}
 }

@@ -3,9 +3,12 @@ package fastq
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"io"
 	"strings"
 	"testing"
+
+	"sage/internal/pargz"
 )
 
 const sniffFASTQ = "@r1\nACGT\n+\nIIII\n@r2\nTTGG\n+\nFFFF\n"
@@ -94,6 +97,111 @@ func TestSniffReaderShort(t *testing.T) {
 func TestSniffReaderBadGzip(t *testing.T) {
 	if _, err := SniffReader(strings.NewReader("\x1f\x8bnot really gzip")); err == nil {
 		t.Fatal("bad gzip header accepted")
+	}
+}
+
+// Sniff routes PGZ1 (gzipc) streams through the parallel decoder too.
+func TestSniffPGZ1(t *testing.T) {
+	payload := strings.Repeat(sniffFASTQ, 64)
+	// Hand-build a minimal PGZ1 stream: magic + total + 1 block.
+	var member bytes.Buffer
+	zw := gzip.NewWriter(&member)
+	zw.Write([]byte(payload))
+	zw.Close()
+	var in bytes.Buffer
+	in.WriteString("PGZ1")
+	var tmp [16]byte
+	in.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(payload)))])
+	in.Write(tmp[:binary.PutUvarint(tmp[:], 1)])
+	in.Write(tmp[:binary.PutUvarint(tmp[:], uint64(member.Len()))])
+	in.Write(member.Bytes())
+
+	r, err := Sniff(bytes.NewReader(in.Bytes()), SniffOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseSniffed(r)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("PGZ1 stream decoded wrong: %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+// A truncated gzip input surfaces through the scanning pipeline as a
+// contextual error naming the input file and a compressed offset —
+// never a silent short read ending in a clean EOF. The fixture is
+// BGZF with record-aligned blocks, so the bytes decoded before the
+// damage parse cleanly and the decode error itself reaches the
+// scanner through the member-parallel path.
+func TestSniffTruncatedGzipSurfacesThroughScanner(t *testing.T) {
+	payload := strings.Repeat(sniffFASTQ, 2048)
+	var full bytes.Buffer
+	w, err := pargz.NewWriterLevel(&full, gzip.DefaultCompression, 64*len(sniffFASTQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	members, err := pargz.SplitMembers(full.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(members[0]) + len(members[1]) + len(members[2])/2
+	r, err := Sniff(bytes.NewReader(full.Bytes()[:cut]), SniffOptions{Name: "lane1.fq.gz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseSniffed(r)
+	br := NewBatchReader(r, 64)
+	for {
+		_, err = br.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		t.Fatal("truncated gzip ingest ended in a clean EOF — silent short read")
+	}
+	for _, want := range []string{"lane1.fq.gz", "offset"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("scanner error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// The same contract for a generic single-member gzip cut at an
+// arbitrary byte: the decoded prefix ends mid-record, and the decode
+// error (file + offset) must win over the scanner's own
+// truncated-record guess.
+func TestSniffTruncatedGzipMidRecord(t *testing.T) {
+	payload := strings.Repeat(sniffFASTQ, 2048)
+	full := gzipBytes(t, payload)
+	r, err := Sniff(bytes.NewReader(full[:len(full)/2]), SniffOptions{Name: "lane2.fq.gz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseSniffed(r)
+	br := NewBatchReader(r, 64)
+	for {
+		_, err = br.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		t.Fatal("truncated gzip ingest ended in a clean EOF — silent short read")
+	}
+	for _, want := range []string{"lane2.fq.gz", "offset"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("scanner error %q does not mention %q", err, want)
+		}
 	}
 }
 

@@ -76,31 +76,31 @@ func (s *Scanner) nextRaw(rr *rawRecord) error {
 		}
 	}
 	if h[0] != '@' {
-		return fmt.Errorf("fastq: line %d: expected '@', got %q", s.line, h)
+		return s.scanErr(fmt.Errorf("fastq: line %d: expected '@', got %q", s.line, h))
 	}
 	s.hbuf = append(s.hbuf[:0], h[1:]...)
 	rr.header = s.hbuf
 	if !s.sc.Scan() {
-		return fmt.Errorf("fastq: line %d: truncated record (no sequence)", s.line)
+		return s.scanErr(fmt.Errorf("fastq: line %d: truncated record (no sequence)", s.line))
 	}
 	s.line++
 	seq := s.sc.Bytes()
 	for i := 0; i < len(seq); i++ {
 		if _, ok := genome.CharToBase(seq[i]); !ok {
-			return fmt.Errorf("fastq: line %d: genome: invalid base %q at %d", s.line, seq[i], i)
+			return s.scanErr(fmt.Errorf("fastq: line %d: genome: invalid base %q at %d", s.line, seq[i], i))
 		}
 	}
 	s.sbuf = append(s.sbuf[:0], seq...)
 	rr.seq = s.sbuf
 	if !s.sc.Scan() {
-		return fmt.Errorf("fastq: line %d: truncated record (no separator)", s.line)
+		return s.scanErr(fmt.Errorf("fastq: line %d: truncated record (no separator)", s.line))
 	}
 	s.line++
 	if sep := s.sc.Bytes(); len(sep) == 0 || sep[0] != '+' {
-		return fmt.Errorf("fastq: line %d: expected '+', got %q", s.line, sep)
+		return s.scanErr(fmt.Errorf("fastq: line %d: expected '+', got %q", s.line, sep))
 	}
 	if !s.sc.Scan() {
-		return fmt.Errorf("fastq: line %d: truncated record (no quality)", s.line)
+		return s.scanErr(fmt.Errorf("fastq: line %d: truncated record (no quality)", s.line))
 	}
 	s.line++
 	qline := s.sc.Bytes()
@@ -112,20 +112,35 @@ func (s *Scanner) nextRaw(rr *rawRecord) error {
 		// unscored ones and poison every downstream quality statistic, so
 		// it is an error; genuinely unscored reads belong in FASTA or in
 		// Record structs with a nil Qual, not in FASTQ text.
-		return fmt.Errorf("fastq: line %d: empty quality line for a %d-base read (truncated input?)", s.line, len(seq))
+		return s.scanErr(fmt.Errorf("fastq: line %d: empty quality line for a %d-base read (truncated input?)", s.line, len(seq)))
 	}
 	if len(qline) > 0 {
 		if len(qline) != len(seq) {
-			return fmt.Errorf("fastq: line %d: %d quality chars for %d bases", s.line, len(qline), len(seq))
+			return s.scanErr(fmt.Errorf("fastq: line %d: %d quality chars for %d bases", s.line, len(qline), len(seq)))
 		}
 		for _, c := range qline {
 			if c < QualityOffset || c-QualityOffset > MaxQuality {
-				return fmt.Errorf("fastq: line %d: quality char %q out of range", s.line, c)
+				return s.scanErr(fmt.Errorf("fastq: line %d: quality char %q out of range", s.line, c))
 			}
 		}
 		rr.qual = qline
 	}
 	return nil
+}
+
+// scanErr prefers the underlying reader's error over a scan-level one.
+// When a decode stage fails mid-stream (a truncated or corrupt gzip
+// member), bufio.Scanner still serves the lines buffered before the
+// failure — the final window ends in arbitrarily cut text, and a
+// message about that text ("3 quality chars for 4 bases") would mask
+// the real failure and its file-and-offset context. bufio.Scanner
+// records the read error the moment Read returns it, so it is already
+// visible here even while buffered lines are still being served.
+func (s *Scanner) scanErr(scan error) error {
+	if err := s.sc.Err(); err != nil {
+		return err
+	}
+	return scan
 }
 
 // convertInto decodes a validated rawRecord's sequence and quality into

@@ -22,19 +22,45 @@ import (
 // DefaultBlockSize matches pigz's 128 KiB default.
 const DefaultBlockSize = 128 << 10
 
+// DefaultLevel matches pigz's default DEFLATE level.
+const DefaultLevel = 6
+
 // Options configures the codec.
 type Options struct {
 	// BlockSize is the uncompressed bytes per parallel block.
 	BlockSize int
-	// Level is the DEFLATE level (gzip.BestSpeed..gzip.BestCompression).
+	// Level is the DEFLATE level, gzip.HuffmanOnly (-2) through
+	// gzip.BestCompression (9). Because gzip.NoCompression is 0 — Go's
+	// zero value — an explicit store level is only honored when
+	// LevelSet is true; a zero Options value compresses at
+	// DefaultLevel.
 	Level int
+	// LevelSet marks Level as deliberate. Without it, Level 0 means
+	// "unset" and maps to DefaultLevel (a Level other than 0 implies
+	// LevelSet).
+	LevelSet bool
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
 }
 
 // DefaultOptions mirrors `pigz -6`.
 func DefaultOptions() Options {
-	return Options{BlockSize: DefaultBlockSize, Level: 6}
+	return Options{BlockSize: DefaultBlockSize, Level: DefaultLevel, LevelSet: true}
+}
+
+// level resolves the effective DEFLATE level: default an unset level,
+// honor everything else, and reject out-of-range values instead of
+// letting gzip.NewWriterLevel fail per block on the workers.
+func (o Options) level() (int, error) {
+	l := o.Level
+	if l == 0 && !o.LevelSet {
+		l = DefaultLevel
+	}
+	if l < gzip.HuffmanOnly || l > gzip.BestCompression {
+		return 0, fmt.Errorf("gzipc: invalid DEFLATE level %d (want %d..%d)",
+			l, gzip.HuffmanOnly, gzip.BestCompression)
+	}
+	return l, nil
 }
 
 var blockMagic = [4]byte{'P', 'G', 'Z', '1'}
@@ -44,8 +70,9 @@ func Compress(data []byte, opt Options) ([]byte, error) {
 	if opt.BlockSize <= 0 {
 		opt.BlockSize = DefaultBlockSize
 	}
-	if opt.Level == 0 {
-		opt.Level = 6
+	level, err := opt.level()
+	if err != nil {
+		return nil, err
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -68,7 +95,7 @@ func Compress(data []byte, opt Options) ([]byte, error) {
 				hi = len(data)
 			}
 			var buf bytes.Buffer
-			zw, err := gzip.NewWriterLevel(&buf, opt.Level)
+			zw, err := gzip.NewWriterLevel(&buf, level)
 			if err != nil {
 				errs[b] = err
 				return

@@ -2,7 +2,9 @@ package gzipc
 
 import (
 	"bytes"
+	"compress/gzip"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -87,6 +89,61 @@ func TestQuickRoundtrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLevelHandling pins the Level semantics: an unset level defaults,
+// gzip.NoCompression and gzip.HuffmanOnly are representable (LevelSet
+// distinguishes a deliberate 0 from the zero value), and out-of-range
+// levels fail loudly instead of silently becoming 6.
+func TestLevelHandling(t *testing.T) {
+	data := bytes.Repeat([]byte("ACGTACGTACGT"), 4096)
+
+	// Zero-value Options = unset level = DefaultLevel: must compress.
+	def, err := Compress(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) >= len(data) {
+		t.Fatalf("unset level did not compress: %d vs %d", len(def), len(data))
+	}
+
+	// gzip.NoCompression must be honored, not upgraded to level 6: the
+	// output stores the data raw and is larger than the input.
+	stored, err := Compress(data, Options{Level: gzip.NoCompression, LevelSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) <= len(data) {
+		t.Fatalf("NoCompression output %d bytes <= input %d — level was substituted", len(stored), len(data))
+	}
+	d, err := Decompress(stored, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("NoCompression roundtrip mismatch")
+	}
+
+	// gzip.HuffmanOnly (-2) is in range and must compress this input at
+	// least a little (entropy coding without matching).
+	huff, err := Compress(data, Options{Level: gzip.HuffmanOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(huff) >= len(data) {
+		t.Fatalf("HuffmanOnly did not compress: %d vs %d", len(huff), len(data))
+	}
+
+	// Out-of-range levels error up front with the offending value.
+	for _, lvl := range []int{-3, 10, 42} {
+		_, err := Compress(data, Options{Level: lvl})
+		if err == nil {
+			t.Fatalf("level %d accepted", lvl)
+		}
+		if !strings.Contains(err.Error(), "level") {
+			t.Fatalf("level %d error %q lacks context", lvl, err)
+		}
 	}
 }
 

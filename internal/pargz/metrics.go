@@ -1,0 +1,34 @@
+package pargz
+
+import "sage/internal/obs"
+
+// Metrics is the observability bundle a Reader reports into. All
+// fields are optional; a nil Metrics (or nil field) costs nothing on
+// the decode path.
+type Metrics struct {
+	// CompressedBytes counts gzip-side bytes consumed across readers.
+	CompressedBytes *obs.Counter
+	// DecodedBytes counts decoded bytes delivered to consumers.
+	DecodedBytes *obs.Counter
+	// Members counts gzip members decoded (member-parallel tiers count
+	// each; the pipelined tier counts one per stream).
+	Members *obs.Counter
+	// Stall records how long the consumer waited for decoded bytes —
+	// nonzero tails here mean decompression, not parsing, is the
+	// ingest critical path.
+	Stall *obs.Histogram
+}
+
+// NewMetrics registers the pargz ingest metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		CompressedBytes: reg.Counter("sage_ingest_gunzip_compressed_bytes_total",
+			"compressed gzip bytes consumed by the ingest decoder"),
+		DecodedBytes: reg.Counter("sage_ingest_gunzip_decoded_bytes_total",
+			"decoded bytes the ingest decoder delivered downstream"),
+		Members: reg.Counter("sage_ingest_gunzip_members_total",
+			"gzip members decoded by the parallel ingest tiers"),
+		Stall: reg.Histogram("sage_ingest_gunzip_stall_seconds",
+			"time the ingest consumer waited for decoded gzip bytes"),
+	}
+}

@@ -1,0 +1,372 @@
+// Package pargz is the streaming gzip accelerator on SAGe's ingest
+// path. The paper's thesis is that data preparation — not analysis —
+// is the bottleneck (§2), and PR 9's transparent gzip ingest re-created
+// exactly that imbalance in miniature: stdlib gzip inflates on one
+// core, so at high shard-worker counts the decompressor becomes the
+// writer's critical path. pargz removes the serial choke point with
+// two tiers, stdlib-only:
+//
+//   - Member-parallel decode. Real archives are overwhelmingly
+//     multi-member gzip: bgzip writes a BGZF "BC" EXTRA subfield whose
+//     payload is the compressed block size, so member boundaries are
+//     found *without inflating*, and gzipc's PGZ1 framing carries
+//     explicit block lengths. Both decode on a bounded worker pool
+//     with in-order reassembly into the consumer.
+//   - Pipelined readahead. Generic single-member gzip cannot be split,
+//     but a dedicated decode goroutine filling a bounded ring of
+//     reused buffers overlaps inflate with the parse→map→encode
+//     stages instead of serializing with them.
+//
+// NewReader sniffs the input (PGZ1 magic, then the gzip header's BC
+// subfield) and picks the tier; a BGZF stream that degenerates
+// mid-way into plain gzip members falls back to the pipelined tier
+// from that member on, so nothing valid is ever rejected. Errors are
+// contextual — input name plus compressed byte offset — and surface
+// in stream order: every byte before the damage is delivered first.
+//
+// The package also provides Writer, a bgzip-style multi-member gzip
+// writer (BC subfields, trailing empty EOF member) used by `sage
+// recompress` walkthroughs, fixtures, and benches.
+package pargz
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sage/internal/obs"
+)
+
+// Tier identifies the decode strategy NewReader picked for an input.
+type Tier int
+
+const (
+	// TierPipelined decodes generic gzip serially on a dedicated
+	// goroutine, readahead-buffered so inflate overlaps the consumer.
+	TierPipelined Tier = iota
+	// TierBGZF decodes bgzip/BGZF members in parallel: boundaries come
+	// from the BC EXTRA subfield, members inflate on a worker pool.
+	TierBGZF
+	// TierPGZ1 decodes gzipc's PGZ1 block framing in parallel.
+	TierPGZ1
+)
+
+// String names the tier the way docs and `sage recompress` report it.
+func (t Tier) String() string {
+	switch t {
+	case TierBGZF:
+		return "bgzf-parallel"
+	case TierPGZ1:
+		return "pgz1-parallel"
+	default:
+		return "gzip-pipelined"
+	}
+}
+
+// DefaultReadahead is the pipelined tier's ring depth (decoded buffers
+// in flight between the decode goroutine and the consumer).
+const DefaultReadahead = 8
+
+// streamBufSize is the size of each pipelined readahead buffer.
+const streamBufSize = 256 << 10
+
+// maxMemberSize caps a single PGZ1 member so a corrupt length varint
+// cannot demand an absurd allocation (BGZF members are capped at 64 KiB
+// by their on-disk u16 BSIZE field).
+const maxMemberSize = 1 << 30
+
+// Options configures a Reader.
+type Options struct {
+	// Name labels errors with the input's name (usually the file path);
+	// empty omits it.
+	Name string
+	// Workers bounds member-parallel decode (0 = GOMAXPROCS). The
+	// pipelined tier always uses one decode goroutine.
+	Workers int
+	// Readahead is the pipelined tier's buffer ring depth
+	// (0 = DefaultReadahead).
+	Readahead int
+	// Metrics, when non-nil, receives decoded/compressed byte counters,
+	// member counts, and the readahead-stall histogram.
+	Metrics *Metrics
+	// Trace, when non-nil, aggregates "gunzip" (worker inflate time)
+	// and "gunzip-wait" (consumer stall) spans for ingest stage
+	// attribution.
+	Trace *obs.Trace
+}
+
+// Stats is a snapshot of a Reader's work so far.
+type Stats struct {
+	CompressedBytes int64 // gzip bytes consumed
+	DecodedBytes    int64 // FASTQ-side bytes handed to the consumer
+	Members         int64 // gzip members decoded (member-parallel tiers)
+	Stalls          int64 // times Read had to wait for a decoded chunk
+	StallTime       time.Duration
+}
+
+// chunk is one in-order unit of decoded output. Scanner-emitted error
+// chunks are born ready (ready == nil); worker-filled chunks close
+// ready when data/err are valid.
+type chunk struct {
+	ready   chan struct{}
+	data    []byte
+	err     error
+	recycle func()
+}
+
+// Reader streams the decoded bytes of a gzip/BGZF/PGZ1 input. It is an
+// io.ReadCloser; Read and Close must not race (the usual io contract).
+// A Reader drained to EOF releases all its goroutines on its own;
+// Close is only required when abandoning a stream early.
+type Reader struct {
+	tier Tier
+	name string
+
+	chunks chan *chunk
+	stop   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	cur *chunk
+	pos int
+	err error
+
+	metrics *Metrics
+	trace   *obs.Trace
+
+	comp    atomic.Int64
+	dec     atomic.Int64
+	members atomic.Int64
+	stalls  atomic.Int64
+	stallNs atomic.Int64
+
+	// expect is the PGZ1 header's declared uncompressed size, or -1;
+	// checked against consumed bytes at EOF so a framing-level
+	// truncation can never pass as a clean short read.
+	expect   atomic.Int64
+	consumed int64
+}
+
+var (
+	pgz1Magic = [4]byte{'P', 'G', 'Z', '1'}
+
+	errNotGzip = errors.New("not a gzip stream")
+)
+
+// NewReader sniffs r (which must start with a gzip or PGZ1 magic) and
+// returns the decoding reader for the matching tier. Header-level
+// damage in the first member surfaces here; later damage surfaces from
+// Read at the exact compressed offset, after all preceding decoded
+// bytes have been delivered.
+func NewReader(r io.Reader, opt Options) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok || br.Size() < 64<<10 {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	readahead := opt.Readahead
+	if readahead <= 0 {
+		readahead = DefaultReadahead
+	}
+	rd := &Reader{
+		name:    opt.Name,
+		chunks:  make(chan *chunk, max(2*workers, readahead)),
+		stop:    make(chan struct{}),
+		metrics: opt.Metrics,
+		trace:   opt.Trace,
+	}
+	rd.expect.Store(-1)
+
+	head, _ := br.Peek(4)
+	switch {
+	case len(head) >= 4 && [4]byte(head[:4]) == pgz1Magic:
+		rd.tier = TierPGZ1
+		rd.startMembers(br, workers, rd.scanPGZ1)
+	case len(head) >= 2 && head[0] == gzipID1 && head[1] == gzipID2:
+		bsize, err := peekMemberBSize(br)
+		if err != nil {
+			return nil, rd.ctxErr(0, err)
+		}
+		if bsize > 0 {
+			rd.tier = TierBGZF
+			rd.startMembers(br, workers, rd.scanBGZF)
+			break
+		}
+		rd.tier = TierPipelined
+		if err := rd.startStream(br, readahead); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, rd.ctxErr(0, errNotGzip)
+	}
+	return rd, nil
+}
+
+// Tier reports which decode strategy the sniff selected.
+func (r *Reader) Tier() Tier { return r.tier }
+
+// Stats snapshots the reader's counters.
+func (r *Reader) Stats() Stats {
+	return Stats{
+		CompressedBytes: r.comp.Load(),
+		DecodedBytes:    r.dec.Load(),
+		Members:         r.members.Load(),
+		Stalls:          r.stalls.Load(),
+		StallTime:       time.Duration(r.stallNs.Load()),
+	}
+}
+
+// Read delivers decoded bytes in input order.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if r.cur != nil {
+			if r.pos < len(r.cur.data) {
+				n := copy(p, r.cur.data[r.pos:])
+				r.pos += n
+				r.consumed += int64(n)
+				return n, nil
+			}
+			if r.cur.err != nil {
+				r.err = r.cur.err
+				return 0, r.err
+			}
+			if r.cur.recycle != nil {
+				r.cur.recycle()
+			}
+			r.cur, r.pos = nil, 0
+		}
+		c, ok := r.nextChunk()
+		if !ok {
+			if exp := r.expect.Load(); exp >= 0 && r.consumed != exp {
+				r.err = r.ctxErr(r.comp.Load(), fmt.Errorf(
+					"PGZ1 stream truncated: decoded %d bytes, header declares %d", r.consumed, exp))
+				return 0, r.err
+			}
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		r.addDecoded(int64(len(c.data)))
+		r.cur, r.pos = c, 0
+	}
+}
+
+// nextChunk takes the next in-order chunk, accounting any time spent
+// waiting for decode as a readahead stall ("gunzip-wait" span + stall
+// histogram). A decoded chunk already queued costs nothing.
+func (r *Reader) nextChunk() (*chunk, bool) {
+	select {
+	case c, ok := <-r.chunks:
+		if !ok {
+			return nil, false
+		}
+		if c.ready == nil {
+			return c, true
+		}
+		select {
+		case <-c.ready:
+			return c, true
+		default:
+		}
+		sp := r.trace.StartSpan("gunzip-wait")
+		start := time.Now()
+		<-c.ready
+		r.recordStall(sp, time.Since(start))
+		return c, true
+	default:
+	}
+	sp := r.trace.StartSpan("gunzip-wait")
+	start := time.Now()
+	c, ok := <-r.chunks
+	if !ok {
+		return nil, false
+	}
+	if c.ready != nil {
+		<-c.ready
+	}
+	r.recordStall(sp, time.Since(start))
+	return c, true
+}
+
+func (r *Reader) recordStall(sp *obs.Span, d time.Duration) {
+	sp.End()
+	r.stalls.Add(1)
+	r.stallNs.Add(int64(d))
+	if r.metrics != nil && r.metrics.Stall != nil {
+		r.metrics.Stall.Observe(d)
+	}
+}
+
+// Close abandons the stream: decode goroutines unwind, buffers are
+// dropped, and further Reads fail. Closing an already-drained reader
+// is a no-op beyond marking it closed.
+func (r *Reader) Close() error {
+	r.once.Do(func() { close(r.stop) })
+	if r.err == nil {
+		r.err = errors.New("pargz: reader closed")
+	}
+	r.wg.Wait()
+	return nil
+}
+
+// sendChunk delivers c in order, aborting if the reader was closed.
+func (r *Reader) sendChunk(c *chunk) bool {
+	select {
+	case r.chunks <- c:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// errChunk builds a born-ready terminal chunk carrying a contextual
+// error at the given compressed offset.
+func (r *Reader) errChunk(offset int64, err error) *chunk {
+	return &chunk{err: r.ctxErr(offset, err)}
+}
+
+// ctxErr wraps err with the input name and compressed offset — the
+// "file-and-offset" contract every ingest error keeps.
+func (r *Reader) ctxErr(offset int64, err error) error {
+	if r.name != "" {
+		return fmt.Errorf("pargz: %s: compressed offset %d: %w", r.name, offset, err)
+	}
+	return fmt.Errorf("pargz: compressed offset %d: %w", offset, err)
+}
+
+func (r *Reader) addCompressed(n int64) {
+	r.comp.Add(n)
+	if r.metrics != nil && r.metrics.CompressedBytes != nil {
+		r.metrics.CompressedBytes.Add(n)
+	}
+}
+
+func (r *Reader) addDecoded(n int64) {
+	if n == 0 {
+		return
+	}
+	r.dec.Add(n)
+	if r.metrics != nil && r.metrics.DecodedBytes != nil {
+		r.metrics.DecodedBytes.Add(n)
+	}
+}
+
+func (r *Reader) addMember() {
+	r.members.Add(1)
+	if r.metrics != nil && r.metrics.Members != nil {
+		r.metrics.Members.Inc()
+	}
+}

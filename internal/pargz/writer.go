@@ -1,0 +1,138 @@
+package pargz
+
+// This file is the bgzip-style writer: multi-member gzip where every
+// member's header carries the BGZF BC EXTRA subfield declaring the
+// member's total compressed size, so any BGZF-aware reader (ours
+// included) can find boundaries without inflating. Output ends with
+// the canonical empty EOF member and is deterministic for a given
+// (input, level, block size).
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultBlockSize is the largest uncompressed payload per BGZF member.
+// The on-disk BSIZE field is a u16 holding (compressed size − 1), so
+// the member must stay under 64 KiB compressed; capping the input at
+// 0xff00 — bgzip's own limit — guarantees that even for
+// incompressible data (stored deflate blocks add ~5 bytes per 64 KiB
+// plus 26 bytes of framing).
+const DefaultBlockSize = 0xff00
+
+// maxMemberEncoded is the hard ceiling the u16 BSIZE field imposes on
+// one compressed member.
+const maxMemberEncoded = 1 << 16
+
+// Writer writes BGZF: independent gzip members of at most BlockSize
+// uncompressed bytes, each self-describing its compressed extent.
+type Writer struct {
+	w         io.Writer
+	level     int
+	blockSize int
+
+	buf    []byte // pending uncompressed bytes, < blockSize
+	n      int
+	member bytes.Buffer
+	closed bool
+
+	// Members counts members written, including the EOF marker.
+	Members int
+}
+
+// NewWriter returns a BGZF writer at gzip.DefaultCompression and
+// DefaultBlockSize.
+func NewWriter(w io.Writer) *Writer {
+	nw, err := NewWriterLevel(w, gzip.DefaultCompression, DefaultBlockSize)
+	if err != nil {
+		panic("pargz: defaults rejected: " + err.Error()) // unreachable
+	}
+	return nw
+}
+
+// NewWriterLevel returns a BGZF writer with an explicit gzip level
+// (gzip.HuffmanOnly..gzip.BestCompression) and uncompressed block size
+// (1..DefaultBlockSize; 0 means DefaultBlockSize).
+func NewWriterLevel(w io.Writer, level, blockSize int) (*Writer, error) {
+	if level < gzip.HuffmanOnly || level > gzip.BestCompression {
+		return nil, fmt.Errorf("pargz: invalid gzip level %d", level)
+	}
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 1 || blockSize > DefaultBlockSize {
+		return nil, fmt.Errorf("pargz: block size %d out of range [1, %d]", blockSize, DefaultBlockSize)
+	}
+	return &Writer{w: w, level: level, blockSize: blockSize, buf: make([]byte, blockSize)}, nil
+}
+
+// Write buffers p, flushing a member per full block.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("pargz: write to closed Writer")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		c := copy(w.buf[w.n:], p)
+		w.n += c
+		p = p[c:]
+		if w.n == w.blockSize {
+			if err := w.flushBlock(w.buf[:w.n]); err != nil {
+				return total - len(p), err
+			}
+			w.n = 0
+		}
+	}
+	return total, nil
+}
+
+// Close flushes the pending partial block and writes the empty EOF
+// member. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.n > 0 {
+		if err := w.flushBlock(w.buf[:w.n]); err != nil {
+			return err
+		}
+		w.n = 0
+	}
+	return w.flushBlock(nil)
+}
+
+// flushBlock gzips one block into a standalone member, patches its BC
+// subfield with the compressed size, and writes it out. A nil block
+// produces the empty EOF-marker member.
+func (w *Writer) flushBlock(block []byte) error {
+	w.member.Reset()
+	zw, err := gzip.NewWriterLevel(&w.member, w.level)
+	if err != nil {
+		return err
+	}
+	// SI1='B' SI2='C' SLEN=2, payload patched below. stdlib writes
+	// Extra verbatim after the 10-byte base header, preceded by XLEN.
+	zw.Extra = []byte{'B', 'C', 2, 0, 0, 0}
+	if _, err := zw.Write(block); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	m := w.member.Bytes()
+	if len(m) > maxMemberEncoded {
+		return fmt.Errorf("pargz: compressed member %d bytes overflows BGZF's 64 KiB limit", len(m))
+	}
+	// Member layout: base header (10) + XLEN (2) + SI1 SI2 SLEN (4) +
+	// BSIZE payload at bytes 16–17 = total member length − 1.
+	binary.LittleEndian.PutUint16(m[16:18], uint16(len(m)-1))
+	if _, err := w.w.Write(m); err != nil {
+		return err
+	}
+	w.Members++
+	return nil
+}
